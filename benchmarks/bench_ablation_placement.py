@@ -1,0 +1,101 @@
+"""Ablation — placement strategies (not a paper table; design-choice study).
+
+§6.2.2 floats "heuristics rather than ST MILP" as a way to trade placement
+quality for speed.  This bench compares three strategies on the DNS-tunnel
+workload over the Table 5 ISP stand-ins:
+
+* ST MILP (the paper's approach) — optimal congestion objective;
+* greedy placement + shortest-path stitching (our heuristic);
+* greedy placement + TE LP routing (heuristic placement, optimal routing).
+
+Report: solve time and congestion objective (sum of link utilization).
+"""
+
+import pytest
+
+from repro.analysis.dependency import analyze_dependencies
+from repro.analysis.packet_state import packet_state_mapping
+from repro.milp.heuristic import greedy_solution
+from repro.milp.placement import build_placement_model
+from repro.milp.te import solve_te
+from repro.topology.synthetic import table5_topology
+from repro.topology.traffic import gravity_traffic_matrix
+from repro.xfdd.build import build_xfdd
+
+from workloads import DEFAULT_PORTS, dns_tunnel_program, print_table
+
+TOPOLOGIES = ("AS1755", "AS6461")
+
+_RESULTS = []
+
+
+def prepared_case(name):
+    topology = table5_topology(name, num_ports=DEFAULT_PORTS, seed=0)
+    program = dns_tunnel_program(DEFAULT_PORTS)
+    policy = program.full_policy()
+    deps = analyze_dependencies(policy)
+    xfdd = build_xfdd(policy, registry=program.registry, state_rank=deps.state_rank)
+    ports = sorted(topology.ports)
+    mapping = packet_state_mapping(xfdd, ports, ports)
+    demands = gravity_traffic_matrix(ports, 1000.0, seed=0)
+    return topology, demands, mapping, deps
+
+
+@pytest.mark.parametrize("name", TOPOLOGIES)
+def test_milp_placement(benchmark, name):
+    topology, demands, mapping, deps = prepared_case(name)
+
+    def run():
+        return build_placement_model(topology, demands, mapping, deps).solve()
+
+    solution = benchmark.pedantic(run, iterations=1, rounds=1)
+    _RESULTS.append(
+        (name, "ST MILP", f"{solution.objective:.3f}",
+         f"{benchmark.stats.stats.mean:.2f}s")
+    )
+
+
+@pytest.mark.parametrize("name", TOPOLOGIES)
+def test_greedy_placement(benchmark, name):
+    topology, demands, mapping, deps = prepared_case(name)
+
+    def run():
+        return greedy_solution(topology, demands, mapping, deps)
+
+    solution, _routing = benchmark.pedantic(run, iterations=1, rounds=1)
+    _RESULTS.append(
+        (name, "greedy+stitch", f"{solution.objective:.3f}",
+         f"{benchmark.stats.stats.mean:.2f}s")
+    )
+
+
+@pytest.mark.parametrize("name", TOPOLOGIES)
+def test_greedy_plus_te(benchmark, name):
+    topology, demands, mapping, deps = prepared_case(name)
+
+    def run():
+        from repro.milp.heuristic import greedy_placement
+
+        placement = greedy_placement(topology, demands, mapping, deps)
+        return solve_te(topology, demands, mapping, deps, placement)
+
+    solution = benchmark.pedantic(run, iterations=1, rounds=1)
+    _RESULTS.append(
+        (name, "greedy+TE LP", f"{solution.objective:.3f}",
+         f"{benchmark.stats.stats.mean:.2f}s")
+    )
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    assert len(_RESULTS) == 3 * len(TOPOLOGIES)
+    print_table(
+        "Ablation: placement strategy vs congestion objective and time",
+        ("topology", "strategy", "objective", "time"),
+        sorted(_RESULTS),
+    )
+    # The MILP's objective is never worse than either heuristic's.
+    by_key = {(row[0], row[1]): float(row[2]) for row in _RESULTS}
+    for name in TOPOLOGIES:
+        assert by_key[(name, "ST MILP")] <= by_key[(name, "greedy+stitch")] + 1e-6
+        assert by_key[(name, "ST MILP")] <= by_key[(name, "greedy+TE LP")] + 1e-6

@@ -1,0 +1,76 @@
+"""Ablation — state sharding (§7.3 / Appendix C).
+
+Per-ingress counting (``count[inport]++``) funnels every flow through one
+switch when the counter is a single variable; sharding it per inport lets
+the MILP place each shard on its own switch.  Report the congestion
+objective and solve time for both, over two ISP stand-ins.
+"""
+
+import pytest
+
+from repro.analysis.dependency import analyze_dependencies
+from repro.analysis.packet_state import packet_state_mapping
+from repro.analysis.sharding import shard_by_inport, shard_defaults
+from repro.apps import assign_egress, default_subnets, port_assumption
+from repro.core.pipeline import Compiler
+from repro.core.program import Program
+from repro.lang import ast
+from repro.topology.synthetic import table5_topology
+
+from workloads import print_table
+
+NUM_PORTS = 8
+TOPOLOGIES = ("AS1755", "AS1221")
+
+_RESULTS = []
+
+
+def monitor_programs():
+    subnets = default_subnets(NUM_PORTS)
+    monitor = ast.StateIncr("count", ast.Field("inport"))
+    body = ast.Seq(ast.Parallel(monitor, ast.Id()), assign_egress(subnets))
+    assumption = port_assumption(subnets)
+    ports = list(range(1, NUM_PORTS + 1))
+    unsharded = Program(
+        body, assumption=assumption, state_defaults={"count": 0},
+        name="monitor",
+    )
+    sharded = Program(
+        shard_by_inport(body, "count", ports),
+        assumption=assumption,
+        state_defaults=shard_defaults({"count": 0}, "count", ports),
+        name="monitor-sharded",
+    )
+    return unsharded, sharded
+
+
+@pytest.mark.parametrize("name", TOPOLOGIES)
+@pytest.mark.parametrize("variant", ("single", "sharded"))
+def test_sharding(benchmark, name, variant):
+    topology = table5_topology(name, num_ports=NUM_PORTS, seed=0)
+    unsharded, sharded = monitor_programs()
+    program = unsharded if variant == "single" else sharded
+
+    def run():
+        return Compiler(topology, program).cold_start()
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    spread = len(set(result.placement.values()))
+    _RESULTS.append(
+        (name, variant, f"{result.objective:.3f}", spread,
+         f"{result.scenario_time():.2f}s")
+    )
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    assert len(_RESULTS) == 2 * len(TOPOLOGIES)
+    print_table(
+        "Ablation: sharding count[inport] (Appendix C)",
+        ("topology", "variant", "objective", "#switches holding state", "time"),
+        sorted(_RESULTS),
+    )
+    by_key = {(row[0], row[1]): float(row[2]) for row in _RESULTS}
+    for name in TOPOLOGIES:
+        # Sharding can only help the congestion objective.
+        assert by_key[(name, "sharded")] <= by_key[(name, "single")] + 1e-6

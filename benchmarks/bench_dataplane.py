@@ -1,0 +1,91 @@
+"""Supplemental — simulated data-plane throughput and ruleset sizes.
+
+Not a paper table: the paper's data plane ran on the NetASM software
+switch under Mininet.  This bench measures our simulator replaying traffic
+through three compiled deployments, and reports the per-switch footprint
+(routing rules, NetASM instructions) that §4.5/§5's rule generation
+produced.
+"""
+
+import pytest
+
+from repro.apps import (
+    assign_egress,
+    default_subnets,
+    dns_tunnel_detect,
+    port_assumption,
+    stateful_firewall,
+)
+from repro.core.pipeline import Compiler
+from repro.core.program import Program
+from repro.lang import ast
+from repro.topology.campus import campus_topology
+from repro.workloads import background_traffic, replay
+
+from workloads import print_table
+
+SUBNETS = default_subnets(6)
+_RESULTS = []
+
+
+def deployment(app):
+    program = Program(
+        ast.Seq(app.policy, assign_egress(SUBNETS)),
+        assumption=port_assumption(SUBNETS),
+        state_defaults=app.state_defaults,
+        name=app.name,
+    )
+    result = Compiler(campus_topology(), program).cold_start()
+    return result.build_network()
+
+
+def _egress_only():
+    program = Program(
+        assign_egress(SUBNETS),
+        assumption=port_assumption(SUBNETS),
+        name="egress-only",
+    )
+    result = Compiler(campus_topology(), program).cold_start()
+    return result.build_network()
+
+
+CASES = {
+    "dns-tunnel-detect": lambda: deployment(dns_tunnel_detect()),
+    "stateful-firewall": lambda: deployment(stateful_firewall()),
+    "egress-only": _egress_only,
+}
+
+
+@pytest.mark.parametrize("case", list(CASES))
+def test_replay_throughput(benchmark, case):
+    network = CASES[case]()
+    trace = background_traffic(SUBNETS, count=400, seed=7)
+
+    stats = benchmark.pedantic(
+        lambda: replay(trace, network), iterations=1, rounds=1
+    )
+    seconds = benchmark.stats.stats.mean
+    pps = stats.sent / seconds if seconds else float("inf")
+    instr_total = sum(network.instruction_counts().values())
+    _RESULTS.append(
+        (
+            case,
+            stats.sent,
+            f"{stats.delivery_rate * 100:.0f}%",
+            f"{stats.mean_hops:.2f}",
+            network.rules.total_rules(),
+            instr_total,
+            f"{pps:,.0f}",
+        )
+    )
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    assert len(_RESULTS) == len(CASES)
+    print_table(
+        "Supplemental: simulated data-plane replay (campus, 400 packets)",
+        ("deployment", "packets", "delivered", "mean hops", "routing rules",
+         "NetASM instrs", "packets/s"),
+        _RESULTS,
+    )

@@ -1,0 +1,55 @@
+"""Figure 10 — compilation time vs topology size (IGen networks).
+
+The paper sweeps 10-180 switches (70% edges) and shows near-exponential
+growth of cold start, dominated by MILP creation and solving; we regenerate
+the series and assert monotone growth from the smallest to largest size.
+"""
+
+import pytest
+
+from repro.core.pipeline import Compiler
+from repro.topology.igen import igen_topology
+
+from workloads import DEFAULT_PORTS, dns_tunnel_program, print_table
+
+SIZES = (10, 30, 50, 80, 120, 180)
+
+_RESULTS = []
+
+
+@pytest.mark.parametrize("num_switches", SIZES)
+def test_scaling(benchmark, num_switches):
+    topology = igen_topology(num_switches, num_ports=DEFAULT_PORTS, seed=0)
+    program = dns_tunnel_program(DEFAULT_PORTS)
+
+    def run_all():
+        compiler = Compiler(topology, program)
+        cold = compiler.cold_start()
+        policy = compiler.policy_change(dns_tunnel_program(DEFAULT_PORTS))
+        tm = compiler.topology_change()
+        return cold, policy, tm
+
+    cold, policy, tm = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    _RESULTS.append(
+        (
+            num_switches,
+            f"{cold.scenario_time('cold_start'):.2f}",
+            f"{policy.scenario_time('policy_change'):.2f}",
+            f"{tm.scenario_time('topology_change'):.2f}",
+        )
+    )
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    assert len(_RESULTS) == len(SIZES)
+    print_table(
+        f"Figure 10: compilation time (s) vs IGen topology size "
+        f"({DEFAULT_PORTS} OBS ports)",
+        ("#switches", "cold start", "policy change", "topo/TM change"),
+        _RESULTS,
+    )
+    # Growth shape: the largest topology costs more than the smallest.
+    first = float(_RESULTS[0][1])
+    last = float(_RESULTS[-1][1])
+    assert last > first

@@ -1,0 +1,61 @@
+"""Figure 11 — compilation time vs number of composed policies.
+
+The paper composes the Table 3 applications one by one with ``+`` on a
+50-switch IGen network; each component affects traffic to a separate
+egress port.  Cost grows with the number of components (xFDD composition
+dominating), with a visible jump when the TCP state machine joins at 18
+components.  We regenerate the series (a subset of k values keeps the
+bench laptop-sized) and assert the growth.
+"""
+
+import pytest
+
+from repro.core.pipeline import Compiler
+from repro.topology.igen import igen_topology
+
+from workloads import composed_program, print_table
+
+NUM_SWITCHES = 50
+NUM_PORTS = 20
+KS = (1, 4, 8, 12, 16, 18, 20)
+
+_RESULTS = []
+
+
+@pytest.mark.parametrize("num_apps", KS)
+def test_composed_policies(benchmark, num_apps):
+    topology = igen_topology(NUM_SWITCHES, num_ports=NUM_PORTS, seed=0)
+
+    def run_all():
+        program = composed_program(num_apps, NUM_PORTS)
+        compiler = Compiler(topology, program, mip_rel_gap=0.02)
+        cold = compiler.cold_start()
+        tm = compiler.topology_change()
+        return cold, tm
+
+    cold, tm = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    state_count = len(cold.placement)
+    spread = len(set(cold.placement.values()))
+    _RESULTS.append(
+        (
+            num_apps,
+            state_count,
+            spread,
+            f"{cold.scenario_time('cold_start'):.2f}",
+            f"{cold.scenario_time('policy_change'):.2f}",
+            f"{tm.scenario_time('topology_change'):.2f}",
+        )
+    )
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    assert len(_RESULTS) == len(KS)
+    print_table(
+        f"Figure 11: compilation time (s) vs #composed Table 3 policies "
+        f"({NUM_SWITCHES}-switch IGen)",
+        ("#policies", "#state vars", "#switches used", "cold start",
+         "policy change", "topo/TM change"),
+        _RESULTS,
+    )
+    assert float(_RESULTS[-1][3]) > float(_RESULTS[0][3])

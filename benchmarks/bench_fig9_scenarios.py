@@ -1,0 +1,55 @@
+"""Figure 9 — compilation time of DNS-tunnel-detect with routing on the
+enterprise/ISP networks, per scenario.
+
+The figure shows, per topology, three bars: Topology/TM change (cheapest),
+Policy change, Cold start (most expensive).  We regenerate the series and
+assert that ordering.
+"""
+
+import pytest
+
+from repro.core.pipeline import Compiler
+from repro.topology.synthetic import TABLE5, table5_topology
+
+from workloads import DEFAULT_PORTS, dns_tunnel_program, print_table
+
+_RESULTS = []
+
+
+@pytest.mark.parametrize("name", list(TABLE5))
+def test_scenario_times(benchmark, name):
+    topology = table5_topology(name, num_ports=DEFAULT_PORTS, seed=0)
+    program = dns_tunnel_program(DEFAULT_PORTS)
+
+    def run_all():
+        compiler = Compiler(topology, program)
+        cold = compiler.cold_start()
+        policy = compiler.policy_change(dns_tunnel_program(DEFAULT_PORTS))
+        tm = compiler.topology_change()
+        return cold, policy, tm
+
+    cold, policy, tm = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    row = (
+        name,
+        f"{tm.scenario_time('topology_change'):.2f}",
+        f"{policy.scenario_time('policy_change'):.2f}",
+        f"{cold.scenario_time('cold_start'):.2f}",
+    )
+    _RESULTS.append(row)
+    # Figure 9's bar ordering: cold start is the most expensive scenario.
+    assert cold.scenario_time("cold_start") >= policy.scenario_time(
+        "policy_change"
+    ) - 1e-9
+    assert cold.scenario_time("cold_start") >= tm.scenario_time(
+        "topology_change"
+    ) - 1e-9
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    assert len(_RESULTS) == len(TABLE5)
+    print_table(
+        "Figure 9: compilation time (s) per scenario",
+        ("topology", "topo/TM change", "policy change", "cold start"),
+        _RESULTS,
+    )

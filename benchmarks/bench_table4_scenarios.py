@@ -1,0 +1,63 @@
+"""Table 4 — compiler phases per scenario.
+
+Checks which phases execute for each scenario (the checkmarks of Table 4)
+and benchmarks each scenario on the running example.
+"""
+
+import pytest
+
+from repro.core.pipeline import SCENARIO_PHASES, Compiler
+from repro.topology.campus import campus_topology
+
+from workloads import dns_tunnel_program, print_table
+
+_RESULTS = []
+
+
+@pytest.fixture(scope="module")
+def warm_compiler():
+    compiler = Compiler(campus_topology(), dns_tunnel_program(6))
+    compiler.cold_start()
+    return compiler
+
+
+def test_cold_start(benchmark):
+    def run():
+        compiler = Compiler(campus_topology(), dns_tunnel_program(6))
+        return compiler.cold_start()
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert set(result.timer.durations) == set(SCENARIO_PHASES["cold_start"])
+    _RESULTS.append(("cold start", "P1-P6", f"{result.scenario_time():.3f}s"))
+
+
+def test_policy_change(benchmark, warm_compiler):
+    result = benchmark.pedantic(
+        lambda: warm_compiler.policy_change(dns_tunnel_program(6)),
+        iterations=1,
+        rounds=1,
+    )
+    phases = SCENARIO_PHASES["policy_change"]
+    measured = result.scenario_time("policy_change")
+    assert all(p in result.timer.durations for p in phases)
+    _RESULTS.append(("policy change", "P1,P2,P3,P5(ST),P6", f"{measured:.3f}s"))
+
+
+def test_topology_tm_change(benchmark, warm_compiler):
+    result = benchmark.pedantic(
+        lambda: warm_compiler.topology_change(), iterations=1, rounds=1
+    )
+    assert set(result.timer.durations) == set(SCENARIO_PHASES["topology_change"])
+    _RESULTS.append(
+        ("topology/TM change", "P5(TE),P6", f"{result.scenario_time():.3f}s")
+    )
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    assert len(_RESULTS) == 3
+    print_table(
+        "Table 4: phases executed per scenario (campus, DNS-tunnel-detect)",
+        ("scenario", "phases", "time"),
+        _RESULTS,
+    )

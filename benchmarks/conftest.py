@@ -1,0 +1,11 @@
+"""Benchmark configuration: single-shot measurements, verbose tables.
+
+Compilations are long-running, deterministic computations; we measure one
+round each (pytest-benchmark pedantic mode) and print the paper-style
+tables alongside the timing stats.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

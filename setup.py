@@ -1,0 +1,6 @@
+"""Setup shim: lets ``pip install -e .`` work without the ``wheel`` package
+(this offline environment has setuptools 65 but no PEP 660 backend deps)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro — a reproduction of SNAP (SIGCOMM 2016).
+
+SNAP: Stateful Network-Wide Abstractions for Packet Processing.
+Arashloo, Koral, Greenberg, Rexford, Walker.
+
+Public API highlights::
+
+    from repro import Compiler, Program, campus_topology
+    from repro.apps import dns_tunnel_detect, assign_egress
+
+    program = Program.from_source(source, assumption=...)
+    compiler = Compiler(campus_topology(), program)
+    result = compiler.cold_start()     # placement + routing + rules
+    network = result.build_network()   # simulated distributed data plane
+
+See README.md for a guided tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import CompilationResult, Compiler, Program  # noqa: F401
+from repro.lang import (  # noqa: F401
+    Packet,
+    Store,
+    make_packet,
+    parse,
+    parse_predicate,
+    pretty,
+    run,
+    run_sequence,
+)
+from repro.topology import (  # noqa: F401
+    Topology,
+    campus_topology,
+    gravity_traffic_matrix,
+    igen_topology,
+    table5_topology,
+)

@@ -1,0 +1,12 @@
+"""Program analyses: state dependencies (§4.1) and packet-state mapping (§4.3)."""
+
+from repro.analysis.dependency import DependencyInfo, analyze_dependencies, st_dep
+from repro.analysis.packet_state import PacketStateMapping, packet_state_mapping
+
+__all__ = [
+    "DependencyInfo",
+    "analyze_dependencies",
+    "st_dep",
+    "PacketStateMapping",
+    "packet_state_mapping",
+]

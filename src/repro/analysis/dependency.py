@@ -1,0 +1,101 @@
+"""State dependency analysis (§4.1, Appendix B Figure 14).
+
+``st-dep`` collects ordering constraints between state variables::
+
+    st-dep(p + q)             = st-dep(p) ∪ st-dep(q)
+    st-dep(p ; q)             = (r(p) × w(q)) ∪ st-dep(p) ∪ st-dep(q)
+    st-dep(if a then p else q)= (r(a) × (w(p) ∪ w(q)))
+                                ∪ st-dep(p) ∪ st-dep(q)
+    st-dep(atomic(p))         = (r(p) ∪ w(p)) × (r(p) ∪ w(p))
+    st-dep(p)                 = ∅ otherwise
+
+An edge ``s -> t`` means "t is written after s is read": any realization
+must route packets through s's switch before t's.  The graph's SCC
+condensation yields (i) the total state-variable order used by the xFDD
+(§4.2), (ii) the ``tied`` co-location pairs, and (iii) the ``dep`` ordering
+pairs consumed by the MILP (§4.4).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.lang import ast
+from repro.lang.ast import state_reads, state_variables, state_writes
+
+
+def st_dep(policy: ast.Policy) -> frozenset:
+    """The set of dependency edges ``(s, t)`` — t depends on s."""
+    if isinstance(policy, ast.Parallel):
+        return st_dep(policy.left) | st_dep(policy.right)
+    if isinstance(policy, ast.Seq):
+        crossed = {
+            (s, t)
+            for s in state_reads(policy.left)
+            for t in state_writes(policy.right)
+        }
+        return frozenset(crossed) | st_dep(policy.left) | st_dep(policy.right)
+    if isinstance(policy, ast.If):
+        written = state_writes(policy.then) | state_writes(policy.orelse)
+        crossed = {(s, t) for s in state_reads(policy.pred) for t in written}
+        return frozenset(crossed) | st_dep(policy.then) | st_dep(policy.orelse)
+    if isinstance(policy, ast.Atomic):
+        touched = state_variables(policy.body)
+        return frozenset((s, t) for s in touched for t in touched) | st_dep(policy.body)
+    if isinstance(policy, (ast.And, ast.Or)):
+        return st_dep(policy.left) | st_dep(policy.right)
+    if isinstance(policy, ast.Not):
+        return st_dep(policy.pred)
+    return frozenset()
+
+
+class DependencyInfo:
+    """Results of the dependency analysis.
+
+    Attributes:
+        graph:      the raw dependency digraph (networkx DiGraph).
+        state_rank: variable -> SCC rank in topological order; drives the
+                    xFDD state-test order.
+        order:      all state variables sorted by (rank, name).
+        tied:       frozenset of frozensets — variables that must be
+                    co-located (same SCC, §4.4).
+        dep:        frozenset of (s, t) pairs — s's switch must precede
+                    t's on any flow needing both (cross-SCC edges).
+    """
+
+    def __init__(self, graph: nx.DiGraph):
+        self.graph = graph
+        sccs = list(nx.strongly_connected_components(graph))
+        condensation = nx.condensation(graph, scc=sccs)
+        self.state_rank: dict[str, int] = {}
+        for rank, scc_index in enumerate(nx.topological_sort(condensation)):
+            for var in condensation.nodes[scc_index]["members"]:
+                self.state_rank[var] = rank
+        self.order = sorted(self.state_rank, key=lambda v: (self.state_rank[v], v))
+        tied = set()
+        for scc in sccs:
+            if len(scc) > 1:
+                members = sorted(scc)
+                for i, a in enumerate(members):
+                    for b in members[i + 1 :]:
+                        tied.add(frozenset((a, b)))
+        self.tied = frozenset(tied)
+        dep = set()
+        for s, t in graph.edges:
+            if s != t and self.state_rank[s] != self.state_rank[t]:
+                dep.add((s, t))
+        self.dep = frozenset(dep)
+
+    def __repr__(self):
+        return (
+            f"DependencyInfo(order={self.order}, tied={sorted(map(sorted, self.tied))}, "
+            f"dep={sorted(self.dep)})"
+        )
+
+
+def analyze_dependencies(policy: ast.Policy) -> DependencyInfo:
+    """Run st-dep and condense the resulting graph."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(state_variables(policy))
+    graph.add_edges_from(st_dep(policy))
+    return DependencyInfo(graph)

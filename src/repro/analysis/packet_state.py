@@ -1,0 +1,164 @@
+"""Packet-state mapping (§4.3).
+
+"Traversing from d's root down to the action sets at d's leaves, we can
+gather information associating each flow with the set of state variables
+read or written."  A *flow* is a pair of OBS (ingress, egress) ports.
+
+For every root-to-leaf path we compute:
+
+* which ingress ports are compatible with the path's ``inport`` tests,
+* which egress ports the leaf can emit to (the last ``outport <- v``
+  assignment of each emitting action sequence),
+* the state variables read (state tests on the path) and written (state
+  actions in the leaf).
+
+Egress attribution:
+
+* an emitting leaf attributes the path's states to the egresses its
+  sequences assign (``outport <- v``);
+* an emitting sequence with *no* outport assignment has an unknown egress,
+  so its states are attributed to every egress (conservative);
+* a pure-drop path (packet dies, possibly after state reads/writes) only
+  needs *some* flow (u, v) whose S_uv covers its states — the dropped
+  packet rides that flow's path to the state switch and dies there
+  (Appendix D's stuck-packet technique).  Only when no emitting path
+  provides such a flow do we fall back to attributing the drop-path's
+  states to every egress.  Without this distinction, programs like the
+  stateful firewall (which read state and drop) would force *every* flow
+  through the state switch and often make placement infeasible.
+
+Fresh packets enter the OBS with no ``outport``, so a path that requires
+a *positive* outport test is unreachable and is skipped.
+"""
+
+from __future__ import annotations
+
+from repro.lang.values import matches
+from repro.xfdd.actions import DropAction, FieldAssign
+from repro.xfdd.diagram import XFDD, iter_paths
+from repro.xfdd.tests import FieldValueTest, StateVarTest
+
+INPORT = "inport"
+OUTPORT = "outport"
+
+
+class PacketStateMapping:
+    """S_uv: state variables needed by each OBS flow (Table 1 input)."""
+
+    def __init__(self, needed: dict, inports, outports):
+        self._needed = {pair: frozenset(vars_) for pair, vars_ in needed.items()}
+        self.inports = tuple(inports)
+        self.outports = tuple(outports)
+
+    def states_for(self, u, v) -> frozenset:
+        return self._needed.get((u, v), frozenset())
+
+    def pairs_needing(self, var: str):
+        """All (u, v) flows whose S_uv contains ``var``."""
+        return [pair for pair, vars_ in self._needed.items() if var in vars_]
+
+    def items(self):
+        return self._needed.items()
+
+    def all_state_vars(self) -> frozenset:
+        out = frozenset()
+        for vars_ in self._needed.values():
+            out |= vars_
+        return out
+
+    def __repr__(self):
+        rows = ", ".join(
+            f"{u}->{v}:{sorted(vars_)}" for (u, v), vars_ in sorted(self._needed.items())
+        )
+        return f"PacketStateMapping({rows})"
+
+
+def _path_inports(path, inports):
+    """Ingress ports compatible with the path's inport tests."""
+    allowed = set(inports)
+    for test, result in path:
+        if isinstance(test, FieldValueTest) and test.field == INPORT:
+            if result:
+                allowed = {p for p in allowed if matches(p, test.value)}
+            else:
+                allowed = {p for p in allowed if not matches(p, test.value)}
+    return allowed
+
+
+def _path_reachable(path) -> bool:
+    """False when the path needs a positive outport test (fresh packets
+    carry no outport)."""
+    for test, result in path:
+        if isinstance(test, FieldValueTest) and test.field == OUTPORT and result:
+            return False
+    return True
+
+
+def _path_reads(path) -> frozenset:
+    return frozenset(
+        test.var for test, _ in path if isinstance(test, StateVarTest)
+    )
+
+
+def _leaf_egresses(leaf, outports):
+    """(egress ports, needs_all) for the leaf's emitting sequences."""
+    egresses = set()
+    unknown = False
+    for seq in leaf.seqs:
+        if any(isinstance(action, DropAction) for action in seq):
+            continue
+        assigned = None
+        for action in seq:
+            if isinstance(action, FieldAssign) and action.field == OUTPORT:
+                assigned = action.value
+        if assigned is None:
+            unknown = True
+        else:
+            egresses.add(assigned)
+    return egresses & set(outports), unknown
+
+
+def packet_state_mapping(xfdd: XFDD, inports, outports) -> PacketStateMapping:
+    """Compute S_uv for every OBS port pair by walking the xFDD's paths."""
+    needed: dict = {}
+    outport_set = list(outports)
+    deferred: list = []  # (sources, states) of pure-drop paths
+
+    def attribute(sources, targets, states):
+        for u in sources:
+            for v in targets:
+                if u == v:
+                    continue
+                key = (u, v)
+                needed[key] = needed.get(key, frozenset()) | states
+
+    for path, leaf in iter_paths(xfdd):
+        if not _path_reachable(path):
+            continue
+        states = _path_reads(path) | leaf.written_state_vars()
+        if not states:
+            continue
+        sources = _path_inports(path, inports)
+        if not sources:
+            continue
+        egresses, unknown = _leaf_egresses(leaf, outport_set)
+        if egresses and not unknown:
+            attribute(sources, egresses, states)
+        elif unknown:
+            attribute(sources, set(outport_set), states)
+        else:
+            # Pure-drop path: defer — it only needs an existing flow to
+            # ride to the state switch (see module docstring).
+            deferred.append((sources, states))
+
+    for sources, states in deferred:
+        for u in sources:
+            for s in states:
+                covered = any(
+                    s in needed.get((u, v), frozenset())
+                    for v in outport_set
+                    if v != u
+                )
+                if not covered:
+                    attribute((u,), set(outport_set), frozenset((s,)))
+    return PacketStateMapping(needed, inports, outports)

@@ -1,0 +1,53 @@
+"""AST transformations on policies.
+
+:func:`rename_state_vars` namespaces a policy's state variables — used
+when composing several instances of library programs so each instance owns
+its own state (the Figure 11 workload: "the dependency graph for the final
+policy is a collection of the dependency graphs of the composed policies",
+which only holds when instances do not alias each other's variables).
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+
+def rename_state_vars(policy: ast.Policy, mapping) -> ast.Policy:
+    """Rewrite state-variable names.
+
+    ``mapping`` is either a dict ``old -> new`` or a callable applied to
+    every variable name.
+    """
+    rename = mapping if callable(mapping) else lambda v: mapping.get(v, v)
+
+    def walk(node: ast.Policy) -> ast.Policy:
+        if isinstance(node, ast.StateTest):
+            return ast.StateTest(rename(node.var), node.index, node.value)
+        if isinstance(node, ast.StateMod):
+            return ast.StateMod(rename(node.var), node.index, node.value)
+        if isinstance(node, ast.StateIncr):
+            return ast.StateIncr(rename(node.var), node.index)
+        if isinstance(node, ast.StateDecr):
+            return ast.StateDecr(rename(node.var), node.index)
+        if isinstance(node, ast.Not):
+            return ast.Not(walk(node.pred))
+        if isinstance(node, ast.And):
+            return ast.And(walk(node.left), walk(node.right))
+        if isinstance(node, ast.Or):
+            return ast.Or(walk(node.left), walk(node.right))
+        if isinstance(node, ast.Parallel):
+            return ast.Parallel(walk(node.left), walk(node.right))
+        if isinstance(node, ast.Seq):
+            return ast.Seq(walk(node.left), walk(node.right))
+        if isinstance(node, ast.If):
+            return ast.If(walk(node.pred), walk(node.then), walk(node.orelse))
+        if isinstance(node, ast.Atomic):
+            return ast.Atomic(walk(node.body))
+        return node
+
+    return walk(policy)
+
+
+def namespace_state_vars(policy: ast.Policy, prefix: str) -> ast.Policy:
+    """Prefix every state variable with ``prefix`` (instance isolation)."""
+    return rename_state_vars(policy, lambda var: f"{prefix}{var}")

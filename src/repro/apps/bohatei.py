@@ -1,0 +1,60 @@
+"""Bohatei [8] DDoS-defense applications (Table 3, Appendix F policies
+9/17/18 and the composed elephant-flow detector)."""
+
+from __future__ import annotations
+
+from repro.core.program import Program
+from repro.lang import ast
+from repro.apps.fast import flow_size_detect, sample_large
+
+
+def syn_flood_detect(threshold: int = 100) -> Program:
+    """SYN-flood detection: count SYNs without matching ACKs per source
+    (Appendix F: "implemented in a similar way as super-spreader")."""
+    source = """
+    if tcp.flags = SYN then
+      syn-count[srcip]++;
+      if syn-count[srcip] = threshold then
+        syn-flooder[srcip] <- True
+      else id
+    else
+      if tcp.flags = ACK then syn-count[srcip]--
+      else id
+    """
+    return Program.from_source(
+        source, params={"threshold": threshold}, name="syn-flood"
+    )
+
+
+def dns_amplification_mitigation() -> Program:
+    """Policy 17: drop DNS responses that answer no outstanding query."""
+    source = """
+    if dstport = 53 then
+      benign-request[srcip][dstip] <- True
+    else
+      if srcport = 53 & !benign-request[dstip][srcip] then drop
+      else id
+    """
+    return Program.from_source(source, name="dns-amplification")
+
+
+def udp_flood_mitigation(threshold: int = 1000) -> Program:
+    """Policy 18: rate-flag sources of anomalously many UDP packets."""
+    source = """
+    if proto = UDP & !udp-flooder[srcip] then
+      udp-counter[srcip]++;
+      if udp-counter[srcip] = threshold then
+        (udp-flooder[srcip] <- True; drop)
+      else id
+    else id
+    """
+    return Program.from_source(
+        source, params={"threshold": threshold}, name="udp-flood"
+    )
+
+
+def elephant_flow_detect() -> Program:
+    """Appendix F: ``flow-size-detect; sample-large`` — flag abnormally
+    large flows and sample-drop their packets."""
+    composed = ast.Seq(flow_size_detect().policy, sample_large().policy)
+    return Program(composed, name="elephant-flows")

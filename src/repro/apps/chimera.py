@@ -1,0 +1,118 @@
+"""Chimera [5] applications (Table 3, Appendix F policies 1, 2, 4, 8 and
+Figure 1's DNS tunnel detector, plus spam/phishing detection policy 6)."""
+
+from __future__ import annotations
+
+from repro.core.program import Program
+from repro.lang.values import Symbol
+from repro.util.ipaddr import IPPrefix
+
+
+def dns_tunnel_detect(subnet: str = "10.0.6.0/24", threshold: int = 3) -> Program:
+    """Figure 1: detect DNS tunnels to/from a protected subnet."""
+    source = """
+    if dstip = {subnet} & srcport = 53 then
+      orphan[dstip][dns.rdata] <- True;
+      susp-client[dstip]++;
+      if susp-client[dstip] = threshold then
+        blacklist[dstip] <- True
+      else id
+    else
+      if srcip = {subnet} & orphan[srcip][dstip] then
+        orphan[srcip][dstip] <- False;
+        susp-client[srcip]--
+      else id
+    """.replace("{subnet}", subnet)
+    return Program.from_source(
+        source, params={"threshold": threshold}, name="dns-tunnel-detect"
+    )
+
+
+def many_ip_domains(threshold: int = 5) -> Program:
+    """Policy 1: too many domains resolving to one IP (fast-flux hiding)."""
+    source = """
+    if srcport = 53 then
+      if !domain-ip-pair[dns.rdata][dns.qname] then
+        num-of-domains[dns.rdata]++;
+        domain-ip-pair[dns.rdata][dns.qname] <- True;
+        if num-of-domains[dns.rdata] = threshold then
+          mal-ip-list[dns.rdata] <- True
+        else id
+      else id
+    else id
+    """
+    return Program.from_source(
+        source, params={"threshold": threshold}, name="many-ip-domains"
+    )
+
+
+def many_domain_ips(threshold: int = 5) -> Program:
+    """Policy 2: too many distinct IPs under one domain name."""
+    source = """
+    if srcport = 53 then
+      if !ip-domain-pair[dns.qname][dns.rdata] then
+        num-of-ips[dns.qname]++;
+        ip-domain-pair[dns.qname][dns.rdata] <- True;
+        if num-of-ips[dns.qname] = threshold then
+          mal-domain-list[dns.qname] <- True
+        else id
+      else id
+    else id
+    """
+    return Program.from_source(
+        source, params={"threshold": threshold}, name="many-domain-ips"
+    )
+
+
+def dns_ttl_change() -> Program:
+    """Policy 4: count TTL changes per domain in DNS responses."""
+    source = """
+    if srcport = 53 then
+      if !seen[dns.rdata] then
+        seen[dns.rdata] <- True;
+        last-ttl[dns.rdata] <- dns.ttl;
+        ttl-change[dns.rdata] <- 0
+      else
+        if last-ttl[dns.rdata] = dns.ttl then id
+        else (last-ttl[dns.rdata] <- dns.ttl; ttl-change[dns.rdata]++)
+    else id
+    """
+    return Program.from_source(source, name="dns-ttl-change")
+
+
+def sidejack_detect(server: str = "10.0.6.80") -> Program:
+    """Policy 8: a session id must stay with the client that opened it."""
+    source = """
+    if dstip = {server} & !(sid = 0) then
+      if !active-session[sid] then
+        atomic(active-session[sid] <- True;
+               sid2ip[sid] <- srcip;
+               sid2agent[sid] <- http.user-agent)
+      else
+        if sid2ip[sid] = srcip & sid2agent[sid] = http.user-agent then id
+        else drop
+    else id
+    """.replace("{server}", server)
+    return Program.from_source(source, name="sidejack-detect")
+
+
+def spam_detect(threshold: int = 20) -> Program:
+    """Policy 6: flag new mail transfer agents that send too much mail."""
+    source = """
+    (if MTA-dir[smtp.MTA] = Unknown then
+      MTA-dir[smtp.MTA] <- Tracked;
+      mail-counter[smtp.MTA] <- 0
+    else id);
+    (if MTA-dir[smtp.MTA] = Tracked then
+      mail-counter[smtp.MTA]++;
+      if mail-counter[smtp.MTA] = threshold then
+        MTA-dir[smtp.MTA] <- Spammer
+      else id
+    else id)
+    """
+    return Program.from_source(
+        source,
+        params={"threshold": threshold},
+        state_defaults={"MTA-dir": Symbol("Unknown")},
+        name="spam-detect",
+    )

@@ -1,0 +1,62 @@
+"""Remaining Table 3 applications: the bump-on-the-wire TCP state machine
+(Appendix F policy 20) and Snort flowbits (policy 19)."""
+
+from __future__ import annotations
+
+from repro.core.program import Program
+from repro.lang.values import Symbol
+from repro.apps.fast import FLOW_IND, FLOW_IND_REV
+
+
+def tcp_state_machine() -> Program:
+    """Policy 20: track TCP connection states on the wire.
+
+    Considerably larger than the other applications — it is the 10-second
+    jump between 18 and 19 composed policies in Figure 11.
+    """
+    source = """
+    if tcp.flags = SYN & tcp-state{fwd} = CLOSED then
+      tcp-state{fwd} <- SYN-SENT
+    else
+      if tcp.flags = SYN-ACK & tcp-state{rev} = SYN-SENT then
+        tcp-state{rev} <- SYN-RECEIVED
+      else
+        if tcp.flags = ACK & tcp-state{fwd} = SYN-RECEIVED then
+          tcp-state{fwd} <- ESTABLISHED
+        else
+          if tcp.flags = FIN & tcp-state{fwd} = ESTABLISHED then
+            tcp-state{fwd} <- FIN-WAIT
+          else
+            if tcp.flags = FIN-ACK & tcp-state{rev} = FIN-WAIT then
+              tcp-state{rev} <- FIN-WAIT2
+            else
+              if tcp.flags = ACK & tcp-state{fwd} = FIN-WAIT2 then
+                tcp-state{fwd} <- CLOSED
+              else
+                if tcp.flags = RST & tcp-state{rev} = ESTABLISHED then
+                  tcp-state{rev} <- CLOSED
+                else
+                  (tcp-state{rev} = ESTABLISHED + tcp-state{fwd} = ESTABLISHED)
+    """.replace("{fwd}", FLOW_IND).replace("{rev}", FLOW_IND_REV)
+    return Program.from_source(
+        source,
+        state_defaults={"tcp-state": Symbol("CLOSED")},
+        name="tcp-state-machine",
+    )
+
+
+def snort_flowbits(
+    home_net: str = "10.0.0.0/8", external_net: str = "0.0.0.0/0"
+) -> Program:
+    """Policy 19: the Snort flowbits rule marking Kindle web traffic."""
+    source = """
+    srcip = {home};
+    dstip = {ext};
+    dstport = 80;
+    established{fwd} = True;
+    content = "Kindle/3.0+";
+    kindle{fwd} <- True
+    """.replace("{home}", home_net).replace("{ext}", external_net).replace(
+        "{fwd}", FLOW_IND
+    )
+    return Program.from_source(source, name="snort-flowbits")

@@ -1,0 +1,39 @@
+"""Routing-policy building blocks used across examples and benchmarks.
+
+``assign_egress`` is the §2.1 egress-assignment policy; ``port_assumption``
+is the §4.3 assumption predicate tying source subnets to ingress ports.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.util.ipaddr import IPPrefix
+
+
+def assign_egress(subnets: dict) -> ast.Policy:
+    """``if dstip = subnet_1 then outport <- 1 else ... else drop``.
+
+    ``subnets`` maps OBS port -> :class:`IPPrefix`.
+    """
+    policy: ast.Policy = ast.Drop()
+    for port in sorted(subnets, reverse=True):
+        prefix = subnets[port]
+        policy = ast.If(ast.Test("dstip", prefix), ast.Mod("outport", port), policy)
+    return policy
+
+
+def port_assumption(subnets: dict) -> ast.Predicate:
+    """``(srcip = subnet_1 & inport = 1) + ...`` as a predicate (§4.3)."""
+    terms = [
+        ast.And(ast.Test("srcip", subnets[port]), ast.Test("inport", port))
+        for port in sorted(subnets)
+    ]
+    pred = terms[0]
+    for term in terms[1:]:
+        pred = ast.Or(pred, term)
+    return pred
+
+
+def default_subnets(num_ports: int, base: str = "10.0.{i}.0/24") -> dict:
+    """Port i -> 10.0.i.0/24 for i in 1..num_ports (the paper's scheme)."""
+    return {i: IPPrefix(base.format(i=i)) for i in range(1, num_ports + 1)}

@@ -1,0 +1,17 @@
+"""The compiler core: programs, pipeline phases, and scenarios."""
+
+from repro.core.pipeline import (
+    SCENARIO_PHASES,
+    CompilationResult,
+    Compiler,
+)
+from repro.core.program import Program
+from repro.core.report import compilation_report
+
+__all__ = [
+    "SCENARIO_PHASES",
+    "CompilationResult",
+    "Compiler",
+    "Program",
+    "compilation_report",
+]

@@ -1,0 +1,80 @@
+"""A SNAP *program*: policy + assumption + metadata.
+
+Bundles what an operator hands the compiler: the OBS policy, an optional
+``assumption`` predicate (§4.3 — operator knowledge such as "traffic with
+srcip in subnet i enters at port i"), state-variable defaults, and the
+field registry in use.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.errors import SnapError
+from repro.lang.fields import DEFAULT_REGISTRY, FieldRegistry
+from repro.lang.parser import parse, parse_predicate
+
+
+class Program:
+    """An OBS program ready for compilation."""
+
+    def __init__(
+        self,
+        policy: ast.Policy,
+        assumption: ast.Predicate | None = None,
+        state_defaults: dict | None = None,
+        registry: FieldRegistry | None = None,
+        name: str = "program",
+    ):
+        if not isinstance(policy, ast.Policy):
+            raise SnapError("Program needs a Policy")
+        if assumption is not None and not isinstance(assumption, ast.Predicate):
+            raise SnapError("assumption must be a predicate")
+        self.policy = policy
+        self.assumption = assumption
+        self.registry = registry or DEFAULT_REGISTRY
+        inferred = ast.infer_state_defaults(policy)
+        inferred.update(state_defaults or {})
+        self.state_defaults = inferred
+        self.name = name
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        assumption: str | None = None,
+        definitions: dict | None = None,
+        params: dict | None = None,
+        state_defaults: dict | None = None,
+        registry: FieldRegistry | None = None,
+        name: str = "program",
+    ) -> "Program":
+        registry = registry or DEFAULT_REGISTRY
+        policy = parse(source, fields=registry, definitions=definitions, params=params)
+        pred = (
+            parse_predicate(assumption, fields=registry, params=params)
+            if assumption
+            else None
+        )
+        return cls(policy, pred, state_defaults, registry, name)
+
+    def full_policy(self) -> ast.Policy:
+        """The policy actually compiled: ``assumption ; policy``."""
+        if self.assumption is None:
+            return self.policy
+        return ast.Seq(self.assumption, self.policy)
+
+    def compose_parallel(self, other: "Program", name: str | None = None) -> "Program":
+        """``self + other`` with merged metadata (Figure 11's workload)."""
+        assumption = self.assumption if self.assumption is not None else other.assumption
+        merged_defaults = dict(self.state_defaults)
+        merged_defaults.update(other.state_defaults)
+        return Program(
+            ast.Parallel(self.policy, other.policy),
+            assumption,
+            merged_defaults,
+            self.registry,
+            name or f"{self.name}+{other.name}",
+        )
+
+    def __repr__(self):
+        return f"Program({self.name!r})"

@@ -1,0 +1,24 @@
+"""Data plane: SNAP header, xFDD splitting, NetASM programs, simulator."""
+
+from repro.dataplane.header import (
+    DONE_TAG,
+    ROOT_TAG,
+    SNAP_INPORT,
+    SNAP_NODE,
+    SNAP_OUTPORT,
+    add_header,
+    strip_header,
+)
+from repro.dataplane.netasm import SwitchProgram, compile_switch
+from repro.dataplane.network import DeliveryRecord, Network
+from repro.dataplane.rules import RoutingRule, RuleTables, build_rule_tables
+from repro.dataplane.split import NodeIndex, split_summary
+
+__all__ = [
+    "DONE_TAG", "ROOT_TAG", "SNAP_INPORT", "SNAP_NODE", "SNAP_OUTPORT",
+    "add_header", "strip_header",
+    "SwitchProgram", "compile_switch",
+    "DeliveryRecord", "Network",
+    "RoutingRule", "RuleTables", "build_rule_tables",
+    "NodeIndex", "split_summary",
+]

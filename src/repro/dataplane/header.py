@@ -1,0 +1,39 @@
+"""The SNAP header (§4.5).
+
+"We assume each packet is augmented with a SNAP-header upon entering the
+network, which contains its original OBS inport and future outport, and
+the id of the last processed xFDD node ... stripped off by the egress
+switch when the packet exits the network."
+
+We realize the header as three packet fields.  ``DONE`` marks a packet
+whose xFDD processing finished (it only needs forwarding to its egress).
+"""
+
+from __future__ import annotations
+
+from repro.lang.packet import Packet
+
+SNAP_INPORT = "snap.inport"
+SNAP_OUTPORT = "snap.outport"
+SNAP_NODE = "snap.node"
+
+#: snap.node value for the diagram root (fresh packets).
+ROOT_TAG = 0
+#: snap.node value once processing is complete.
+DONE_TAG = -1
+
+
+def add_header(packet: Packet, inport: int) -> Packet:
+    """Tag a fresh packet at its ingress."""
+    return packet.modify_many(
+        {
+            "inport": inport,
+            SNAP_INPORT: inport,
+            SNAP_NODE: ROOT_TAG,
+        }
+    )
+
+
+def strip_header(packet: Packet) -> Packet:
+    """Remove the SNAP header at the egress."""
+    return packet.without(SNAP_INPORT, SNAP_OUTPORT, SNAP_NODE)

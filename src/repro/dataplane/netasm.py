@@ -1,0 +1,380 @@
+"""A NetASM-like switch backend (§5).
+
+"The compiler's output for each switch is a set of switch-level
+instructions in a low-level language called NetASM ... we traverse the
+xFDD and generate a branch instruction for each test node ... we generate
+instructions to create two tables for each state variable, one for the
+indices and one for the values ... we generate store instructions that
+modify the packet fields and state tables ... we use NetASM support for
+atomic execution."
+
+Instruction set (one list per switch, entry points by xFDD tag):
+
+    BRANCH  test, true_target, false_target    -- stateless or local-state test
+    PAUSE   tag, var                           -- tag packet, await var's switch
+    FORK    targets...                         -- copy packet per leaf sequence
+    SET     field, value
+    STWRITE var, index_exprs, value_exprs      -- local state table write
+    STDELTA var, index_exprs, delta            -- local increment/decrement
+    DROP
+    EMIT
+
+The interpreter (:meth:`SwitchProgram.process`) executes a packet's run
+atomically with respect to the switch's state tables, mirroring NetASM's
+atomic table updates.
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.header import SNAP_NODE
+from repro.dataplane.split import NodeIndex, _ordered_seqs, leaf_groups, state_owner
+from repro.lang.errors import DataPlaneError
+from repro.lang.packet import Packet
+from repro.lang.state import Store
+from repro.xfdd.actions import DropAction, FieldAssign, StateAssign, StateDelta
+from repro.xfdd.diagram import Branch, Leaf, XFDD, eval_exprs, eval_test, pack_value
+from repro.xfdd.tests import StateVarTest
+
+# -- instructions -------------------------------------------------------------
+
+
+class Instr:
+    __slots__ = ()
+
+
+class IBranch(Instr):
+    __slots__ = ("test", "on_true", "on_false")
+
+    def __init__(self, test, on_true: int, on_false: int):
+        self.test = test
+        self.on_true = on_true
+        self.on_false = on_false
+
+    def __repr__(self):
+        return f"BRANCH {self.test!r} ? @{self.on_true} : @{self.on_false}"
+
+
+class IPause(Instr):
+    __slots__ = ("tag", "var")
+
+    def __init__(self, tag: int, var: str):
+        self.tag = tag
+        self.var = var
+
+    def __repr__(self):
+        return f"PAUSE tag={self.tag} var={self.var}"
+
+
+class IFork(Instr):
+    __slots__ = ("targets",)
+
+    def __init__(self, targets):
+        self.targets = tuple(targets)
+
+    def __repr__(self):
+        return "FORK " + ", ".join(f"@{t}" for t in self.targets)
+
+
+class IJump(Instr):
+    __slots__ = ("target",)
+
+    def __init__(self, target: int):
+        self.target = target
+
+    def __repr__(self):
+        return f"JUMP @{self.target}"
+
+
+class ISet(Instr):
+    __slots__ = ("field", "value")
+
+    def __init__(self, field: str, value):
+        self.field = field
+        self.value = value
+
+    def __repr__(self):
+        return f"SET {self.field} <- {self.value!r}"
+
+
+class IStateWrite(Instr):
+    __slots__ = ("var", "index", "value")
+
+    def __init__(self, var, index, value):
+        self.var = var
+        self.index = index
+        self.value = value
+
+    def __repr__(self):
+        return f"STWRITE {self.var}[{self.index}] <- {self.value}"
+
+
+class IStateDelta(Instr):
+    __slots__ = ("var", "index", "delta")
+
+    def __init__(self, var, index, delta):
+        self.var = var
+        self.index = index
+        self.delta = delta
+
+    def __repr__(self):
+        return f"STDELTA {self.var}[{self.index}] {'+' if self.delta > 0 else ''}{self.delta}"
+
+
+class IDrop(Instr):
+    __slots__ = ()
+
+    def __repr__(self):
+        return "DROP"
+
+
+class IEmit(Instr):
+    __slots__ = ()
+
+    def __repr__(self):
+        return "EMIT"
+
+
+# -- outcomes ------------------------------------------------------------------
+
+
+class Outcome:
+    """Result of running one packet copy through a switch program."""
+
+    __slots__ = ("kind", "packet", "var")
+
+    def __init__(self, kind: str, packet: Packet, var: str | None = None):
+        self.kind = kind  # "emit" | "pause" | "drop"
+        self.packet = packet
+        self.var = var
+
+    def __repr__(self):
+        return f"Outcome({self.kind}, var={self.var})"
+
+
+# -- compilation ----------------------------------------------------------------
+
+
+class SwitchProgram:
+    """The NetASM program and state tables of one switch."""
+
+    def __init__(self, switch: str, instructions, entries: dict, store: Store):
+        self.switch = switch
+        self.instructions = instructions
+        self.entries = entries  # xFDD tag -> instruction index
+        self.store = store
+
+    def can_process(self, tag: int) -> bool:
+        return tag in self.entries
+
+    def process(self, packet: Packet) -> list:
+        """Run the packet (and its forked copies) to pause/emit/drop."""
+        tag = packet.get(SNAP_NODE)
+        if tag not in self.entries:
+            raise DataPlaneError(
+                f"switch {self.switch} cannot process tag {tag!r}"
+            )
+        outcomes: list[Outcome] = []
+        stack = [(self.entries[tag], packet)]
+        while stack:
+            idx, pkt = stack.pop()
+            while True:
+                instr = self.instructions[idx]
+                if isinstance(instr, IBranch):
+                    taken = eval_test(instr.test, pkt, self.store)
+                    idx = instr.on_true if taken else instr.on_false
+                elif isinstance(instr, IPause):
+                    outcomes.append(
+                        Outcome("pause", pkt.modify(SNAP_NODE, instr.tag), instr.var)
+                    )
+                    break
+                elif isinstance(instr, IFork):
+                    for target in instr.targets:
+                        stack.append((target, pkt))
+                    break
+                elif isinstance(instr, IJump):
+                    idx = instr.target
+                elif isinstance(instr, ISet):
+                    pkt = pkt.modify(instr.field, instr.value)
+                    idx += 1
+                elif isinstance(instr, IStateWrite):
+                    key = eval_exprs(instr.index, pkt)
+                    self.store.write(
+                        instr.var, key, pack_value(eval_exprs(instr.value, pkt))
+                    )
+                    idx += 1
+                elif isinstance(instr, IStateDelta):
+                    key = eval_exprs(instr.index, pkt)
+                    self.store.variable(instr.var).increment(key, instr.delta)
+                    idx += 1
+                elif isinstance(instr, IDrop):
+                    outcomes.append(Outcome("drop", pkt))
+                    break
+                elif isinstance(instr, IEmit):
+                    outcomes.append(Outcome("emit", pkt))
+                    break
+                else:
+                    raise DataPlaneError(f"unknown instruction {instr!r}")
+        return outcomes
+
+    def to_text(self) -> str:
+        """Readable assembly listing (for docs and debugging)."""
+        entry_of = {}
+        for tag, idx in self.entries.items():
+            entry_of.setdefault(idx, []).append(tag)
+        lines = [f"; NetASM program for switch {self.switch}"]
+        for idx, instr in enumerate(self.instructions):
+            marks = entry_of.get(idx)
+            prefix = f"tag{sorted(marks)}" if marks else "        "
+            lines.append(f"{prefix:>12}  @{idx:<4} {instr!r}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"SwitchProgram({self.switch}, {len(self.instructions)} instrs, "
+            f"{len(self.entries)} entries)"
+        )
+
+
+def compile_switch(
+    switch: str,
+    xfdd: XFDD,
+    index: NodeIndex,
+    placement: dict,
+    state_defaults: dict,
+    has_ports: bool,
+) -> SwitchProgram:
+    """Compile the per-switch program.
+
+    Entry points: the root (switches with attached OBS ports) and every
+    node whose state variable lives on this switch.  Stateless tests and
+    field writes compile anywhere; a remote state test or state action
+    compiles to PAUSE with the node's tag.
+    """
+    instructions: list[Instr] = []
+    entries: dict[int, int] = {}
+    compiled: dict = {}  # memo: node-or-continuation key -> instruction index
+
+    def emit(instr: Instr) -> int:
+        instructions.append(instr)
+        return len(instructions) - 1
+
+    def compile_branch(node: Branch) -> int:
+        key = ("b", id(node))
+        if key in compiled:
+            return compiled[key]
+        test = node.test
+        if isinstance(test, StateVarTest) and state_owner(placement, test.var) != switch:
+            idx = emit(IPause(index.branch_tag(node), test.var))
+            compiled[key] = idx
+            return idx
+        # Reserve the slot, then fill in children (handles shared subtrees).
+        idx = emit(IBranch(test, -1, -1))
+        compiled[key] = idx
+        on_true = compile_node(node.hi)
+        on_false = compile_node(node.lo)
+        instructions[idx] = IBranch(test, on_true, on_false)
+        return idx
+
+    def compile_leaf(leaf: Leaf) -> int:
+        """Compile the leaf's execution trie: shared prefixes run once,
+        packet copies fork only at divergence points (see split.leaf_groups)."""
+        key = ("l", id(leaf))
+        if key in compiled:
+            return compiled[key]
+        seqs = _ordered_seqs(leaf)
+        idx = compile_group(leaf, seqs, tuple(range(len(seqs))), 0)
+        compiled[key] = idx
+        return idx
+
+    def compile_group(leaf: Leaf, seqs, members: tuple, depth: int) -> int:
+        key = ("g", id(leaf), members, depth)
+        if key in compiled:
+            return compiled[key]
+        groups: dict = {}
+        ends = False
+        for member in members:
+            seq = seqs[member]
+            if len(seq) > depth:
+                groups.setdefault(seq[depth], []).append(member)
+            else:
+                ends = True
+        targets = []
+        if ends:
+            targets.append(emit(IEmit()))
+        for action in sorted(groups, key=repr):
+            targets.append(
+                compile_chain(leaf, seqs, tuple(groups[action]), depth)
+            )
+        idx = targets[0] if len(targets) == 1 else emit(IFork(targets))
+        compiled[key] = idx
+        return idx
+
+    def compile_chain(leaf: Leaf, seqs, members: tuple, depth: int) -> int:
+        """One trie edge: execute the shared action, continue the group."""
+        key = ("c", id(leaf), members, depth)
+        if key in compiled:
+            return compiled[key]
+        action = seqs[members[0]][depth]
+        if isinstance(action, DropAction):
+            idx = emit(IDrop())
+            compiled[key] = idx
+            return idx
+        var = action.writes_state()
+        if var is not None and state_owner(placement, var) != switch:
+            idx = emit(IPause(index.cont_tag(leaf, min(members), depth), var))
+            compiled[key] = idx
+            return idx
+        if isinstance(action, FieldAssign):
+            idx = emit(ISet(action.field, action.value))
+        elif isinstance(action, StateAssign):
+            idx = emit(IStateWrite(action.var, action.index, action.value))
+        else:
+            idx = emit(IStateDelta(action.var, action.index, action.delta))
+        compiled[key] = idx
+        # Reserve the jump slot so the action always falls into it, then
+        # patch it once the continuation's location is known.
+        jump_slot = emit(IJump(-1))
+        continuation = compile_group(leaf, seqs, members, depth + 1)
+        instructions[jump_slot] = IJump(continuation)
+        return idx
+
+    def compile_node(node: XFDD) -> int:
+        if isinstance(node, Branch):
+            return compile_branch(node)
+        return compile_leaf(node)
+
+    # Local store: only the variables this switch owns.
+    local_defaults = {
+        var: state_defaults.get(var) for var, owner in placement.items() if owner == switch
+    }
+    store = Store(local_defaults)
+
+    # Entry: root for port switches.
+    if has_ports:
+        root_idx = compile_node(index.root)
+        entries[0] = root_idx  # ROOT_TAG
+
+    # Entries for every node this switch owns.
+    stack = [index.root]
+    seen = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if isinstance(node, Branch):
+            test = node.test
+            if isinstance(test, StateVarTest) and state_owner(placement, test.var) == switch:
+                tag = index.branch_tag(node)
+                entries[tag] = compile_branch(node)
+            stack.append(node.hi)
+            stack.append(node.lo)
+        else:
+            seqs = _ordered_seqs(node)
+            for members, depth in leaf_groups(node):
+                action = seqs[members[0]][depth]
+                var = action.writes_state()
+                if var is not None and state_owner(placement, var) == switch:
+                    tag = index.cont_tag(node, min(members), depth)
+                    entries[tag] = compile_chain(node, seqs, members, depth)
+    return SwitchProgram(switch, instructions, entries, store)

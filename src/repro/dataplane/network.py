@@ -1,0 +1,277 @@
+"""The distributed data-plane simulator — our Mininet substitute.
+
+Each switch runs its compiled NetASM program over its local state tables;
+packets carry the SNAP header and are forwarded by the per-switch
+match-action tables along the MILP-selected (u, v) path.
+
+Egress selection (Appendix D): when a packet pauses on a state variable
+before its egress is known, the ingress tags it with a candidate egress
+whose flow needs that variable (weighted by demand); when the leaf finally
+assigns the real outport, the packet is re-tagged and continues along the
+new path from its current switch — which the MILP guarantees lies on that
+path too.
+
+Two delivery modes:
+
+* sequential (default): each injected packet runs to completion before the
+  next — this must agree exactly with the OBS ``eval`` semantics, and the
+  property tests check that it does;
+* concurrent: hops of in-flight packets interleave round-robin, exposing
+  the §2.1 transaction hazards that ``atomic()`` exists to prevent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import networkx as nx
+
+from repro.dataplane.header import (
+    DONE_TAG,
+    ROOT_TAG,
+    SNAP_INPORT,
+    SNAP_NODE,
+    SNAP_OUTPORT,
+    add_header,
+    strip_header,
+)
+from repro.dataplane.netasm import SwitchProgram, compile_switch
+from repro.dataplane.rules import RuleTables, build_rule_tables
+from repro.dataplane.split import NodeIndex
+from repro.lang.errors import DataPlaneError
+from repro.lang.packet import Packet
+from repro.lang.state import Store
+from repro.milp.results import RoutingPaths
+from repro.topology.graph import Topology
+
+MAX_HOPS = 1000
+
+
+class DeliveryRecord:
+    """One packet's fate: delivered at a port, or dropped."""
+
+    __slots__ = ("packet", "egress", "hops")
+
+    def __init__(self, packet: Packet, egress: int | None, hops: int):
+        self.packet = packet
+        self.egress = egress  # None = dropped
+        self.hops = hops
+
+    def __repr__(self):
+        where = f"port {self.egress}" if self.egress is not None else "dropped"
+        return f"DeliveryRecord({where}, hops={self.hops})"
+
+
+class Network:
+    """Topology + per-switch programs + routing tables + link stats."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        xfdd,
+        placement: dict,
+        routing: RoutingPaths,
+        mapping,
+        demands: dict | None = None,
+        state_defaults: dict | None = None,
+    ):
+        self.topology = topology
+        self.placement = dict(placement)
+        self.routing = routing
+        self.mapping = mapping
+        self.demands = dict(demands or {})
+        self.index = NodeIndex(xfdd)
+        self.rules: RuleTables = build_rule_tables(routing)
+        port_switches = set(topology.ports.values())
+        defaults = dict(state_defaults or {})
+        self.state_defaults = defaults
+        self.switches: dict[str, SwitchProgram] = {
+            name: compile_switch(
+                name, xfdd, self.index, self.placement, defaults,
+                has_ports=name in port_switches,
+            )
+            for name in topology.switches()
+        }
+        self.link_packets: dict = {}
+        self.deliveries: list[DeliveryRecord] = []
+        # Default routes: shortest-path next hop toward each switch, used
+        # for processing-complete packets with no installed (u, v) rule —
+        # e.g. hairpin flows (egress == ingress port) or re-tagged egresses.
+        # Such packets have no remaining state constraints, so any route
+        # to the egress is semantically equivalent.
+        self._default_next: dict = {}
+        for target in set(topology.ports.values()):
+            paths = nx.shortest_path(topology.graph, target=target)
+            for source, path in paths.items():
+                if len(path) >= 2:
+                    self._default_next[(source, target)] = path[1]
+
+    # -- state access ------------------------------------------------------
+
+    def global_store(self) -> Store:
+        """Union of all switches' local state (for OBS equivalence checks)."""
+        merged = Store(self.state_defaults)
+        for program in self.switches.values():
+            for name in program.store.names():
+                var = program.store.variable(name)
+                target = merged.variable(name)
+                target.default = var.default
+                for key, value in var.items():
+                    target.set(key, value)
+        return merged
+
+    # -- egress selection (Appendix D) ----------------------------------------
+
+    def _candidate_egress(self, u: int, var: str, current: str):
+        """Pick a candidate egress whose (u, v) flow needs ``var`` and whose
+        installed path passes through ``current``; weighted by demand."""
+        best, best_demand = None, -1.0
+        for (fu, fv), states in self.mapping.items():
+            if fu != u or var not in states:
+                continue
+            path = self.routing.path(fu, fv)
+            if path is None or current not in path:
+                continue
+            demand = self.demands.get((fu, fv), 0.0)
+            if demand > best_demand:
+                best, best_demand = fv, demand
+        return best
+
+    # -- packet walking -----------------------------------------------------------
+
+    def inject(self, packet: Packet, port: int) -> list[DeliveryRecord]:
+        """Sequential mode: run one packet to completion."""
+        records = self._run(self._new_arrivals(packet, port))
+        self.deliveries.extend(records)
+        return records
+
+    def inject_concurrent(self, packets_with_ports, scheduler=None) -> list[DeliveryRecord]:
+        """Concurrent mode: all packets in flight, hops interleaved.
+
+        ``scheduler(pending)`` picks which pending hop advances next (index
+        into the list); the default is FIFO.  Adversarial schedulers model
+        in-flight packet reordering — the hazard §2.1's transactions exist
+        to contain.
+        """
+        queue: deque = deque()
+        for packet, port in packets_with_ports:
+            queue.extend(self._new_arrivals(packet, port))
+        records = self._run(queue, interleave=True, scheduler=scheduler)
+        self.deliveries.extend(records)
+        return records
+
+    def _new_arrivals(self, packet: Packet, port: int):
+        switch = self.topology.port_switch(port)
+        tagged = add_header(packet, port)
+        return deque([(tagged, switch, 0)])
+
+    def _run(
+        self, queue: deque, interleave: bool = False, scheduler=None
+    ) -> list[DeliveryRecord]:
+        records = []
+        while queue:
+            if scheduler is not None:
+                pending = list(queue)
+                index = scheduler(pending)
+                packet, switch, hops = pending[index]
+                del queue[index]
+            elif interleave:
+                packet, switch, hops = queue.popleft()
+            else:
+                packet, switch, hops = queue.pop()
+            if hops > MAX_HOPS:
+                raise DataPlaneError("packet exceeded hop limit (routing loop?)")
+            for item in self._step(packet, switch, hops):
+                if isinstance(item, DeliveryRecord):
+                    records.append(item)
+                else:
+                    queue.append(item)
+        return records
+
+    def _step(self, packet: Packet, switch: str, hops: int):
+        """Process-or-forward one packet at one switch."""
+        tag = packet.get(SNAP_NODE)
+        program = self.switches[switch]
+        if tag != DONE_TAG and program.can_process(tag):
+            for outcome in program.process(packet):
+                yield from self._handle_outcome(outcome, switch, hops)
+            return
+        yield from self._forward(packet, switch, hops)
+
+    def _handle_outcome(self, outcome, switch: str, hops: int):
+        packet = outcome.packet
+        u = packet.get(SNAP_INPORT)
+        if outcome.kind == "drop":
+            yield DeliveryRecord(packet, None, hops)
+            return
+        if outcome.kind == "emit":
+            egress = packet.get("outport")
+            if egress is None or egress not in self.topology.ports:
+                yield DeliveryRecord(packet, None, hops)
+                return
+            packet = packet.modify_many({SNAP_OUTPORT: egress, SNAP_NODE: DONE_TAG})
+            yield from self._forward(packet, switch, hops)
+            return
+        # pause: ensure the tagged egress candidate can reach the variable.
+        var = outcome.var
+        v = packet.get(SNAP_OUTPORT)
+        needs_retag = True
+        if v is not None:
+            path = self.routing.path(u, v)
+            if (
+                path is not None
+                and switch in path
+                and var in self.mapping.states_for(u, v)
+            ):
+                owner = self.placement[var]
+                if owner in path and path.index(owner) >= path.index(switch):
+                    needs_retag = False
+        if needs_retag:
+            candidate = self._candidate_egress(u, var, switch)
+            if candidate is None:
+                raise DataPlaneError(
+                    f"no candidate egress for flow from port {u} pausing on "
+                    f"{var!r} at {switch}"
+                )
+            packet = packet.modify(SNAP_OUTPORT, candidate)
+        yield from self._forward(packet, switch, hops)
+
+    def _forward(self, packet: Packet, switch: str, hops: int):
+        u = packet.get(SNAP_INPORT)
+        v = packet.get(SNAP_OUTPORT)
+        if v is None:
+            raise DataPlaneError(f"packet at {switch} has no egress tag")
+        if switch == self.topology.port_switch(v) and packet.get(SNAP_NODE) == DONE_TAG:
+            yield DeliveryRecord(strip_header(packet), v, hops)
+            return
+        nxt = self.rules.next_hop(switch, u, v)
+        if nxt is None:
+            # Re-tagged packets may join the (u, v) path midway; recover by
+            # walking the installed path from the current switch.
+            path = self.routing.path(u, v)
+            if path is not None and switch in path:
+                idx = path.index(switch)
+                nxt = path[idx + 1] if idx + 1 < len(path) else None
+        if nxt is None and packet.get(SNAP_NODE) == DONE_TAG:
+            # Processing finished: any route to the egress works.
+            nxt = self._default_next.get((switch, self.topology.port_switch(v)))
+        if nxt is None:
+            raise DataPlaneError(
+                f"no route at {switch} for flow ({u}, {v}) "
+                f"(tag={packet.get(SNAP_NODE)})"
+            )
+        self.link_packets[(switch, nxt)] = self.link_packets.get((switch, nxt), 0) + 1
+        yield (packet, nxt, hops + 1)
+
+    # -- reporting -------------------------------------------------------------
+
+    def instruction_counts(self) -> dict:
+        return {
+            name: len(program.instructions) for name, program in self.switches.items()
+        }
+
+    def __repr__(self):
+        return (
+            f"Network({self.topology.name}, switches={len(self.switches)}, "
+            f"rules={self.rules.total_rules()})"
+        )

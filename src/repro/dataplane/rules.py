@@ -1,0 +1,68 @@
+"""Match-action routing rules (§4.5 phase 2).
+
+"We generate a set of match-action rules that take packets through the
+paths decided by the MILP ... packets contain the path identifier (the OBS
+inport and outport) and the routing match-action rules are generated in
+terms of this identifier."
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import DataPlaneError
+from repro.milp.results import RoutingPaths
+
+
+class RoutingRule:
+    """Forward packets of flow (u, v) from this switch to ``next_hop``."""
+
+    __slots__ = ("inport", "outport", "next_hop")
+
+    def __init__(self, inport: int, outport: int, next_hop: str):
+        self.inport = inport
+        self.outport = outport
+        self.next_hop = next_hop
+
+    def __repr__(self):
+        return (
+            f"match(snap.inport={self.inport}, snap.outport={self.outport}) "
+            f"-> forward({self.next_hop})"
+        )
+
+
+class RuleTables:
+    """Per-switch routing tables keyed by the SNAP path identifier."""
+
+    def __init__(self, tables: dict):
+        #: switch -> {(u, v): next_hop}
+        self.tables = tables
+
+    def next_hop(self, switch: str, u: int, v: int):
+        return self.tables.get(switch, {}).get((u, v))
+
+    def rules_for(self, switch: str):
+        return [
+            RoutingRule(u, v, nxt)
+            for (u, v), nxt in sorted(self.tables.get(switch, {}).items())
+        ]
+
+    def rule_counts(self) -> dict:
+        return {switch: len(rules) for switch, rules in self.tables.items()}
+
+    def total_rules(self) -> int:
+        return sum(len(rules) for rules in self.tables.values())
+
+
+def build_rule_tables(routing: RoutingPaths) -> RuleTables:
+    """Compile installed paths into per-switch next-hop tables."""
+    tables: dict = {}
+    for (u, v), path in routing.paths.items():
+        for current, nxt in zip(path, path[1:]):
+            table = tables.setdefault(current, {})
+            existing = table.get((u, v))
+            if existing is not None and existing != nxt:
+                raise DataPlaneError(
+                    f"conflicting next hops for flow {(u, v)} at {current}: "
+                    f"{existing} vs {nxt}"
+                )
+            table[(u, v)] = nxt
+    return RuleTables(tables)

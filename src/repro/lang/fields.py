@@ -1,0 +1,92 @@
+"""The packet-field registry.
+
+Footnote 1 of the paper: "The design of the language is unaffected by the
+chosen set of fields. ... we assume a rich set of fields, e.g. DNS response
+data," made available by programmable parsers (P4) or a preprocessor
+(Snort-style).  We therefore keep an open registry: the standard 5-tuple
+and SNAP bookkeeping fields are predefined, and applications may register
+extra protocol fields (``dns.rdata``, ``mpeg.frame-type``, ...).
+
+The registry also fixes an arbitrary-but-total order on fields, required by
+the xFDD test order (§4.2: "Field-value tests themselves are ordered by
+fixing an arbitrary order on fields and values").  ``inport`` and
+``outport`` sort first so packet-state mapping finds them near xFDD roots.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import SnapError
+
+# Fields every SNAP deployment has: the OBS port pseudo-fields plus the
+# classic 5-tuple.  Order matters (earlier = nearer the xFDD root).
+BASE_FIELDS = (
+    "inport",
+    "outport",
+    "srcip",
+    "dstip",
+    "srcport",
+    "dstport",
+    "proto",
+    "srcmac",
+    "dstmac",
+)
+
+# Rich fields used by the Table 3 / Appendix F applications.  Field names
+# are case-insensitive; the canonical form is lowercase (the paper writes
+# smtp.MTA and DNS.rdata interchangeably with lowercase forms).
+EXTENDED_FIELDS = (
+    "tcp.flags",
+    "dns.rdata",
+    "dns.qname",
+    "dns.ttl",
+    "http.user-agent",
+    "smtp.mta",
+    "ftp.port",
+    "mpeg.frame-type",
+    "sid",
+    "content",
+)
+
+
+class FieldRegistry:
+    """An ordered set of known packet fields.
+
+    A registry instance is attached to a parsed program; the parser uses it
+    to decide whether a bare identifier denotes a field or a symbolic value.
+    """
+
+    def __init__(self, extra_fields=()):
+        self._order: dict[str, int] = {}
+        for name in BASE_FIELDS:
+            self._order[name] = len(self._order)
+        for name in EXTENDED_FIELDS:
+            self._order[name] = len(self._order)
+        for name in extra_fields:
+            self.register(name)
+
+    def register(self, name: str) -> None:
+        """Add a new field (idempotent); it sorts after existing fields."""
+        name = name.lower()
+        if name not in self._order:
+            self._order[name] = len(self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._order
+
+    def rank(self, name: str) -> int:
+        """Position of the field in the total order (for xFDD ordering)."""
+        try:
+            return self._order[name.lower()]
+        except KeyError:
+            raise SnapError(f"unknown packet field: {name!r}") from None
+
+    def names(self):
+        return tuple(self._order)
+
+    def __len__(self):
+        return len(self._order)
+
+
+#: Shared default registry.  Parsers default to this; tests that need a
+#: pristine registry construct their own.
+DEFAULT_REGISTRY = FieldRegistry()

@@ -1,0 +1,103 @@
+"""Pretty-printer: AST back to the paper's concrete syntax.
+
+``parse(pretty(p))`` returns a policy structurally equal to ``p`` — a
+round-trip property the test suite checks with hypothesis-generated
+policies.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.values import Symbol
+from repro.util.ipaddr import IPPrefix
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "True" if value else "False"
+    if isinstance(value, IPPrefix):
+        return str(value)
+    if isinstance(value, Symbol):
+        return value.name
+    if isinstance(value, str):
+        return '"' + value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    if isinstance(value, tuple):
+        return "(" + ", ".join(_format_value(item) for item in value) + ")"
+    return str(value)
+
+
+def _format_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Field):
+        return expr.name
+    if isinstance(expr, ast.Value):
+        return _format_value(expr.value)
+    if isinstance(expr, ast.Vector):
+        return "][".join(_format_expr(item) for item in expr.items)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _index_text(index: ast.Expr) -> str:
+    """Render an index expression as ``[a][b]...``."""
+    if isinstance(index, ast.Vector):
+        return "".join(f"[{_format_expr(item)}]" for item in index.items)
+    return f"[{_format_expr(index)}]"
+
+
+# Precedence levels: higher binds tighter.
+_PAR, _SEQ, _ATOM = 0, 1, 2
+_OR, _AND, _NOT = 0, 1, 2
+
+
+def _pred(pred: ast.Predicate, level: int) -> str:
+    if isinstance(pred, ast.Id):
+        return "id"
+    if isinstance(pred, ast.Drop):
+        return "drop"
+    if isinstance(pred, ast.Test):
+        return f"{pred.field} = {_format_value(pred.value)}"
+    if isinstance(pred, ast.StateTest):
+        return f"{pred.var}{_index_text(pred.index)} = {_format_expr(pred.value)}"
+    if isinstance(pred, ast.Not):
+        inner = _pred(pred.pred, _NOT)
+        return f"!{inner}"
+    if isinstance(pred, ast.And):
+        text = f"{_pred(pred.left, _AND)} & {_pred(pred.right, _AND + 1)}"
+        return f"({text})" if level > _AND else text
+    if isinstance(pred, ast.Or):
+        text = f"{_pred(pred.left, _OR)} | {_pred(pred.right, _OR + 1)}"
+        return f"({text})" if level > _OR else text
+    raise TypeError(f"not a predicate: {pred!r}")
+
+
+def _pol(policy: ast.Policy, level: int) -> str:
+    if isinstance(policy, ast.Predicate):
+        text = _pred(policy, _NOT if level >= _ATOM else _OR)
+        return f"({text})" if level >= _ATOM and isinstance(policy, (ast.And, ast.Or)) else text
+    if isinstance(policy, ast.Mod):
+        return f"{policy.field} <- {_format_value(policy.value)}"
+    if isinstance(policy, ast.StateMod):
+        return f"{policy.var}{_index_text(policy.index)} <- {_format_expr(policy.value)}"
+    if isinstance(policy, ast.StateIncr):
+        return f"{policy.var}{_index_text(policy.index)}++"
+    if isinstance(policy, ast.StateDecr):
+        return f"{policy.var}{_index_text(policy.index)}--"
+    if isinstance(policy, ast.Parallel):
+        text = f"{_pol(policy.left, _PAR)} + {_pol(policy.right, _PAR + 1)}"
+        return f"({text})" if level > _PAR else text
+    if isinstance(policy, ast.Seq):
+        text = f"{_pol(policy.left, _SEQ)}; {_pol(policy.right, _SEQ + 1)}"
+        return f"({text})" if level > _SEQ else text
+    if isinstance(policy, ast.If):
+        pred = _pred(policy.pred, _OR)
+        then = _pol(policy.then, _PAR)
+        orelse = _pol(policy.orelse, _ATOM)
+        text = f"if {pred} then ({then}) else ({orelse})"
+        return text
+    if isinstance(policy, ast.Atomic):
+        return f"atomic({_pol(policy.body, _PAR)})"
+    raise TypeError(f"not a policy: {policy!r}")
+
+
+def pretty(policy: ast.Policy) -> str:
+    """Render a policy in the paper's concrete syntax."""
+    return _pol(policy, _PAR)

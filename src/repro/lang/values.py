@@ -1,0 +1,116 @@
+"""SNAP values.
+
+Appendix A defines values as "packet-related fields (IP address, TCP ports,
+MAC addresses, DNS domains) along with integers, booleans and vectors of
+such values".  We represent them with plain Python types:
+
+* integers / booleans        -> ``int`` / ``bool``
+* IP addresses               -> ``int`` (32-bit) produced by the parser
+* IP prefixes (test rhs)     -> :class:`repro.util.IPPrefix`
+* DNS names, user agents ... -> ``str``
+* symbolic enum constants    -> :class:`Symbol` (e.g. ``SYN``, ``ESTABLISHED``)
+* vectors                    -> ``tuple`` of the above
+
+Only :func:`matches` knows that testing an address against a prefix means
+containment; everywhere else equality is structural.
+"""
+
+from __future__ import annotations
+
+from repro.util.ipaddr import IPPrefix
+
+
+class Symbol:
+    """An interned symbolic constant such as ``SYN`` or ``ESTABLISHED``.
+
+    Programs in Appendix F compare fields against bare identifiers
+    (``tcp.flags = SYN``).  Two symbols are equal iff their names are.
+    """
+
+    __slots__ = ("name",)
+    _interned: dict[str, "Symbol"] = {}
+
+    def __new__(cls, name: str):
+        existing = cls._interned.get(name)
+        if existing is not None:
+            return existing
+        symbol = super().__new__(cls)
+        symbol.name = name
+        cls._interned[name] = symbol
+        return symbol
+
+    def __eq__(self, other):
+        return self is other or (isinstance(other, Symbol) and other.name == self.name)
+
+    def __hash__(self):
+        return hash(("Symbol", self.name))
+
+    def __repr__(self):
+        return f"Symbol({self.name!r})"
+
+    def __str__(self):
+        return self.name
+
+
+def matches(packet_value, test_value) -> bool:
+    """Does a packet field value satisfy a test value?
+
+    Equality, except that an :class:`IPPrefix` on the test side matches any
+    integer address it contains (``dstip = 10.0.6.0/24``).
+    """
+    if isinstance(test_value, IPPrefix):
+        if isinstance(packet_value, IPPrefix):
+            return test_value.contains(packet_value)
+        if isinstance(packet_value, int) and not isinstance(packet_value, bool):
+            return test_value.contains(packet_value)
+        return False
+    return packet_value == test_value
+
+
+def values_disjoint(a, b) -> bool:
+    """True when no packet value can match both test values.
+
+    Used by the xFDD context to prune contradictory branches: once a path
+    asserts ``dstip = 10.0.6.0/24``, the test ``dstip = 10.0.7.1`` is
+    unsatisfiable on that path.
+    """
+    if isinstance(a, IPPrefix) and isinstance(b, IPPrefix):
+        return not a.overlaps(b)
+    if isinstance(a, IPPrefix):
+        return not (isinstance(b, int) and not isinstance(b, bool) and a.contains(b))
+    if isinstance(b, IPPrefix):
+        return not (isinstance(a, int) and not isinstance(a, bool) and b.contains(a))
+    return a != b
+
+
+def value_implies(a, b) -> bool:
+    """True when ``field = a`` guarantees ``field = b``.
+
+    Exact equality, or prefix containment (a host inside a prefix, or a
+    longer prefix inside a shorter one).
+    """
+    if a == b:
+        return True
+    if isinstance(b, IPPrefix):
+        if isinstance(a, IPPrefix):
+            return b.contains(a)
+        if isinstance(a, int) and not isinstance(a, bool):
+            return b.contains(a)
+    return False
+
+
+def value_sort_key(value):
+    """A total order over heterogeneous test values (for xFDD ordering)."""
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, int):
+        return (1, value)
+    if isinstance(value, IPPrefix):
+        return (2, value.network, value.length)
+    if isinstance(value, str):
+        return (3, value)
+    if isinstance(value, Symbol):
+        return (4, value.name)
+    if isinstance(value, tuple):
+        return (5, tuple(value_sort_key(item) for item in value))
+    return (6, repr(value))

@@ -1,0 +1,114 @@
+"""Greedy placement heuristic (§6.2.2: "if the user settles for a
+sub-optimal state placement using heuristics rather than ST MILP ...
+We plan to explore such heuristics").
+
+Tied groups are placed together.  Variables are placed in dependency
+order; each (group of) variable(s) goes to the switch minimizing the total
+demand-weighted detour of the flows that need it, assuming flows travel
+along shortest paths threaded through the state switches chosen so far.
+After placement, routing can be refined with the TE LP, or used directly
+via shortest-path stitching.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.analysis.dependency import DependencyInfo
+from repro.analysis.packet_state import PacketStateMapping
+from repro.milp.placement import PlacementSolution, PlacementInputs
+from repro.milp.results import RoutingPaths, _state_sequence, _stitch_path
+from repro.topology.graph import Topology
+
+
+def _placement_groups(dependencies: DependencyInfo, state_vars):
+    """Tied variables merged into groups, ordered by dependency rank."""
+    groups: list[list[str]] = []
+    assigned: dict[str, int] = {}
+    for var in sorted(state_vars, key=lambda s: (dependencies.state_rank.get(s, 0), s)):
+        if var in assigned:
+            continue
+        group = [var]
+        assigned[var] = len(groups)
+        for pair in dependencies.tied:
+            if var in pair:
+                for other in pair:
+                    if other not in assigned and other in state_vars:
+                        group.append(other)
+                        assigned[other] = len(groups)
+        groups.append(group)
+    return groups
+
+
+def greedy_placement(
+    topology: Topology,
+    demands: dict,
+    mapping: PacketStateMapping,
+    dependencies: DependencyInfo,
+    stateful_switches=None,
+) -> dict:
+    """Choose a switch for every state variable; returns {var: switch}."""
+    candidates = list(stateful_switches or topology.switches())
+    state_vars = sorted(set(mapping.all_state_vars()) | set(dependencies.order))
+    distance = dict(nx.all_pairs_shortest_path_length(topology.graph))
+    placement: dict[str, str] = {}
+
+    def flow_cost(flow, extra_switch):
+        """Hop length of u -> placed-states -> extra -> v (approximation)."""
+        u, v = flow
+        sequence = [topology.port_switch(u)]
+        for s in dependencies.order:
+            if s in mapping.states_for(u, v) and s in placement:
+                if placement[s] not in sequence:
+                    sequence.append(placement[s])
+        if extra_switch not in sequence:
+            sequence.append(extra_switch)
+        sequence.append(topology.port_switch(v))
+        cost = 0
+        for a, b in zip(sequence, sequence[1:]):
+            cost += distance[a].get(b, len(distance) * 2)
+        return cost
+
+    for group in _placement_groups(dependencies, state_vars):
+        flows = set()
+        for var in group:
+            flows.update(mapping.pairs_needing(var))
+        flows = sorted(f for f in flows if demands.get(f, 0.0) > 0.0)
+        best, best_cost = None, float("inf")
+        for candidate in candidates:
+            cost = sum(demands[f] * flow_cost(f, candidate) for f in flows)
+            if cost < best_cost:
+                best, best_cost = candidate, cost
+        chosen = best if best is not None else candidates[0]
+        for var in group:
+            placement[var] = chosen
+    return placement
+
+
+def greedy_solution(
+    topology: Topology,
+    demands: dict,
+    mapping: PacketStateMapping,
+    dependencies: DependencyInfo,
+    stateful_switches=None,
+):
+    """Full heuristic result: placement + stitched shortest paths."""
+    placement = greedy_placement(
+        topology, demands, mapping, dependencies, stateful_switches
+    )
+    paths = {}
+    objective = 0.0
+    for flow, demand in sorted(demands.items()):
+        if demand <= 0.0:
+            continue
+        u, v = flow
+        required = _state_sequence(flow, mapping, dependencies, placement)
+        waypoints = [topology.port_switch(u)] + required + [topology.port_switch(v)]
+        path = _stitch_path(topology.graph, waypoints)
+        paths[flow] = path
+        for a, b in zip(path, path[1:]):
+            objective += demand / topology.capacity(a, b)
+    routing = RoutingPaths(paths, placement)
+    inputs = PlacementInputs(topology, demands, mapping, dependencies, stateful_switches)
+    solution = PlacementSolution(placement, {}, objective, inputs)
+    return solution, routing

@@ -1,0 +1,180 @@
+"""A small MILP modeling layer over ``scipy.optimize.milp`` (HiGHS).
+
+The paper uses the Gurobi Python API; offline we provide the minimal
+equivalent: named variables, linear expressions, ==/<=/>= constraints,
+and a minimize objective, compiled to the sparse matrix form HiGHS wants.
+
+Kept intentionally lean — constraint rows are plain ``(var, coef)`` lists
+to make building the ~10^5-row placement programs fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.lang.errors import PlacementError
+
+
+class Variable:
+    """A model variable; use ``solution[var]`` to read its value."""
+
+    __slots__ = ("index", "name", "lower", "upper", "integer")
+
+    def __init__(self, index: int, name: str, lower: float, upper: float, integer: bool):
+        self.index = index
+        self.name = name
+        self.lower = lower
+        self.upper = upper
+        self.integer = integer
+
+    def __repr__(self):
+        kind = "int" if self.integer else "cont"
+        return f"Variable({self.name}, {kind}, [{self.lower}, {self.upper}])"
+
+
+class Solution:
+    """Solved variable values plus objective and solver status."""
+
+    def __init__(self, values: np.ndarray, objective: float, status: int, message: str):
+        self._values = values
+        self.objective = objective
+        self.status = status
+        self.message = message
+
+    def __getitem__(self, var: Variable) -> float:
+        return float(self._values[var.index])
+
+    def value_array(self) -> np.ndarray:
+        return self._values
+
+
+class Model:
+    """An LP/MILP under construction."""
+
+    def __init__(self, name: str = "model"):
+        self.name = name
+        self._vars: list[Variable] = []
+        self._rows: list[tuple] = []  # (terms, lower, upper)
+        self._objective: list[tuple] = []
+
+    # -- variables ----------------------------------------------------------
+
+    def add_var(
+        self,
+        name: str = "",
+        lower: float = 0.0,
+        upper: float = float("inf"),
+        integer: bool = False,
+    ) -> Variable:
+        var = Variable(len(self._vars), name or f"x{len(self._vars)}", lower, upper, integer)
+        self._vars.append(var)
+        return var
+
+    def add_binary(self, name: str = "") -> Variable:
+        return self.add_var(name, 0.0, 1.0, integer=True)
+
+    # -- constraints ----------------------------------------------------------
+
+    def add_constraint(self, terms, lower: float, upper: float) -> int:
+        """``lower <= sum(coef * var) <= upper`` with terms ``(var, coef)``.
+
+        Returns the row index, usable with :meth:`set_row_bounds` and
+        :meth:`set_row_terms` for incremental model updates.
+        """
+        self._rows.append((tuple(terms), float(lower), float(upper)))
+        return len(self._rows) - 1
+
+    # -- incremental updates (§6.2.2: "incremental additions and
+    # modifications of variables and constraints in a few milliseconds") --
+
+    def set_row_bounds(self, row: int, lower: float, upper: float) -> None:
+        terms, _, _ = self._rows[row]
+        self._rows[row] = (terms, float(lower), float(upper))
+
+    def set_row_terms(self, row: int, terms) -> None:
+        _, lower, upper = self._rows[row]
+        self._rows[row] = (tuple(terms), lower, upper)
+
+    def set_var_bounds(self, var: Variable, lower: float, upper: float) -> None:
+        var.lower = float(lower)
+        var.upper = float(upper)
+
+    def add_eq(self, terms, rhs: float) -> int:
+        return self.add_constraint(terms, rhs, rhs)
+
+    def add_le(self, terms, rhs: float) -> int:
+        return self.add_constraint(terms, -np.inf, rhs)
+
+    def add_ge(self, terms, rhs: float) -> int:
+        return self.add_constraint(terms, rhs, np.inf)
+
+    def minimize(self, terms) -> None:
+        """Set the objective to ``sum(coef * var)`` (minimization)."""
+        self._objective = list(terms)
+
+    # -- stats ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._vars)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._rows)
+
+    @property
+    def num_integer_vars(self) -> int:
+        return sum(1 for v in self._vars if v.integer)
+
+    # -- solving ----------------------------------------------------------------
+
+    def solve(self, time_limit: float | None = None, mip_rel_gap: float | None = None) -> Solution:
+        n = len(self._vars)
+        cost = np.zeros(n)
+        for var, coef in self._objective:
+            cost[var.index] += coef
+
+        row_idx, col_idx, data = [], [], []
+        lo = np.empty(len(self._rows))
+        hi = np.empty(len(self._rows))
+        for r, (terms, lower, upper) in enumerate(self._rows):
+            lo[r] = lower
+            hi[r] = upper
+            for var, coef in terms:
+                row_idx.append(r)
+                col_idx.append(var.index)
+                data.append(coef)
+        matrix = sparse.csr_matrix(
+            (data, (row_idx, col_idx)), shape=(len(self._rows), n)
+        )
+        constraints = LinearConstraint(matrix, lo, hi)
+        bounds = Bounds(
+            np.array([v.lower for v in self._vars]),
+            np.array([v.upper for v in self._vars]),
+        )
+        integrality = np.array([1 if v.integer else 0 for v in self._vars])
+        options = {}
+        if time_limit is not None:
+            options["time_limit"] = time_limit
+        if mip_rel_gap is not None:
+            options["mip_rel_gap"] = mip_rel_gap
+        result = milp(
+            c=cost,
+            constraints=constraints,
+            bounds=bounds,
+            integrality=integrality,
+            options=options,
+        )
+        if result.x is None:
+            raise PlacementError(
+                f"{self.name}: solver failed (status={result.status}): {result.message}"
+            )
+        return Solution(result.x, float(result.fun), int(result.status), result.message)
+
+    def __repr__(self):
+        return (
+            f"Model({self.name!r}, vars={self.num_vars} "
+            f"({self.num_integer_vars} int), rows={self.num_constraints})"
+        )

@@ -1,0 +1,478 @@
+"""The joint state-placement and routing MILP (§4.4, Tables 1 and 2).
+
+One routing commodity per OBS flow (u, v) with positive demand; binary
+placement variables ``P[s, n]``; auxiliary "passed s" flow ``PS`` used to
+enforce state-ordering.  Exactly the constraint system of Table 2:
+
+Routing (per flow uv):
+    sum_j R[uv, u->j] = 1                       source emits all flow
+    sum_i R[uv, i->v] = 1                       sink absorbs all flow
+    sum_uv R[uv, ij] * d_uv <= c_ij             link capacity
+    sum_i R[uv, i->n] = sum_j R[uv, n->j]       conservation (internal n)
+    sum_i R[uv, i->n] <= 1                      visit each node at most once
+
+State:
+    sum_n P[s, n] = 1                           each s on exactly one switch
+    sum_i R[uv, i->n] >= P[s, n]                flows needing s visit its switch
+    P[s, n] = P[t, n]          for (s,t) tied   co-location (same SCC / atomic)
+    PS[s, uv, ij] <= R[uv, ij]
+    P[s, n] + sum_i PS[s, uv, i->n] = sum_j PS[s, uv, n->j]     "passed s" grows at s's switch
+    P[s, v] + sum_i PS[s, uv, i->v] = 1                         all arriving flow passed s
+    P[s, n] + sum_i PS[s, uv, i->n] >= P[t, n] for (s,t) in dep  ordering
+
+Objective: minimize total link utilization sum R[uv, ij] * d_uv / c_ij.
+
+``PS`` variables are instantiated for *every* s in S_uv, exactly as in
+Table 2.  This is not redundant: without the PS sink constraint, the visit
+constraint alone can be satisfied by a circulation disconnected from the
+flow's real path (a classic multi-commodity-flow artifact), letting the
+solver "fake" the visit.  PS must ride R's edges from s's switch to the
+sink, which forces genuine connectivity.  For the same reason a flow may
+not transit the virtual port nodes of other OBS ports.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.dependency import DependencyInfo
+from repro.analysis.packet_state import PacketStateMapping
+from repro.lang.errors import PlacementError
+from repro.milp.modeling import Model, Solution, Variable
+from repro.topology.graph import Topology, port_node
+
+
+class PlacementInputs:
+    """Everything Table 1 lists as MILP input, preprocessed."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        demands: dict,
+        mapping: PacketStateMapping,
+        dependencies: DependencyInfo,
+        stateful_switches=None,
+        demand_floor: float = 1e-9,
+        state_capacity: dict | int | None = None,
+    ):
+        self.topology = topology
+        self.graph = topology.expanded_graph()
+        self.flows = [
+            (u, v) for (u, v), demand in sorted(demands.items()) if demand > demand_floor
+        ]
+        self.demands = {flow: demands[flow] for flow in self.flows}
+        self.mapping = mapping
+        self.dependencies = dependencies
+        self.state_vars = sorted(
+            set(mapping.all_state_vars()) | set(dependencies.order)
+        )
+        self.stateful_switches = tuple(
+            stateful_switches if stateful_switches is not None else topology.switches()
+        )
+        # §7.3 "Resource constraints" extension: cap how many state
+        # variables a switch may host (uniform int, or per-switch dict).
+        if state_capacity is None:
+            self.state_capacity = {}
+        elif isinstance(state_capacity, dict):
+            self.state_capacity = dict(state_capacity)
+        else:
+            self.state_capacity = {
+                n: int(state_capacity) for n in self.stateful_switches
+            }
+        self.links = [(a, b) for a, b in self.graph.edges]
+        self.capacities = {
+            (a, b): data["capacity"] for a, b, data in self.graph.edges(data=True)
+        }
+        # dep pairs restricted to variables that exist here.
+        known = set(self.state_vars)
+        self.dep_pairs = sorted(
+            (s, t) for s, t in dependencies.dep if s in known and t in known
+        )
+        self.tied_pairs = sorted(
+            tuple(sorted(pair)) for pair in dependencies.tied
+            if set(pair) <= known
+        )
+        #: per flow: the state variables that need PS tracking — every
+        #: variable the flow uses (Table 2; see module docstring).
+        self.ps_vars: dict = {}
+        for flow in self.flows:
+            needed = mapping.states_for(*flow)
+            self.ps_vars[flow] = sorted(s for s in needed if s in known)
+        # Per-flow usable links: a flow may not transit the virtual port
+        # nodes of other OBS ports (they are hosts, not switches).
+        self._flow_links: dict = {}
+        port_nodes = {port_node(p) for p in topology.ports}
+        for flow in self.flows:
+            own = {port_node(flow[0]), port_node(flow[1])}
+            banned = port_nodes - own
+            self._flow_links[flow] = [
+                (a, b)
+                for a, b in self.links
+                if a not in banned and b not in banned
+            ]
+
+        # Per-flow adjacency over the usable links.
+        self._flow_in: dict = {}
+        self._flow_out: dict = {}
+        for flow in self.flows:
+            fin: dict = {}
+            fout: dict = {}
+            for a, b in self._flow_links[flow]:
+                fout.setdefault(a, []).append((a, b))
+                fin.setdefault(b, []).append((a, b))
+            self._flow_in[flow] = fin
+            self._flow_out[flow] = fout
+
+    def flow_links(self, flow):
+        return self._flow_links[flow]
+
+    def flow_nodes(self, flow):
+        """Graph nodes this flow may touch (excludes foreign port nodes)."""
+        own = {port_node(flow[0]), port_node(flow[1])}
+        port_nodes = {port_node(p) for p in self.topology.ports}
+        banned = port_nodes - own
+        return [n for n in self.graph.nodes if n not in banned]
+
+    def in_edges(self, node, flow):
+        return self._flow_in[flow].get(node, [])
+
+    def out_edges(self, node, flow):
+        return self._flow_out[flow].get(node, [])
+
+
+class PlacementModel:
+    """The built MILP plus variable handles for answer extraction."""
+
+    def __init__(self, inputs: PlacementInputs, fixed_placement: dict | None = None):
+        self.inputs = inputs
+        self.fixed_placement = (
+            dict(fixed_placement) if fixed_placement is not None else None
+        )
+        self.model = Model("snap-te" if fixed_placement else "snap-st")
+        self.route_vars: dict = {}
+        self.place_vars: dict = {}
+        self._build()
+
+    # -- placement value helpers (variable in ST, constant in TE) -----------
+
+    def _p_terms(self, s: str, n: str):
+        """(terms, constant) contribution of P[s, n]."""
+        if self.fixed_placement is not None:
+            return [], 1.0 if self.fixed_placement.get(s) == n else 0.0
+        return [(self.place_vars[s, n], 1.0)], 0.0
+
+    def _build(self) -> None:
+        inputs = self.inputs
+        model = self.model
+        if self.fixed_placement is None:
+            for s in inputs.state_vars:
+                for n in inputs.stateful_switches:
+                    self.place_vars[s, n] = model.add_binary(f"P[{s},{n}]")
+        else:
+            missing = [s for s in inputs.state_vars if s not in self.fixed_placement]
+            if missing:
+                raise PlacementError(f"fixed placement missing variables {missing}")
+
+        for flow in inputs.flows:
+            for link in inputs.flow_links(flow):
+                self.route_vars[flow, link] = model.add_var(
+                    f"R[{flow},{link}]", 0.0, 1.0
+                )
+
+        self._routing_constraints()
+        self._placement_constraints()
+        self._ordering_constraints()
+        self._objective()
+
+    # -- Table 2, left column -------------------------------------------------
+
+    def _routing_constraints(self) -> None:
+        inputs = self.inputs
+        model = self.model
+        for flow in inputs.flows:
+            u, v = flow
+            src = port_node(u)
+            dst = port_node(v)
+            model.add_eq(
+                [(self.route_vars[flow, e], 1.0) for e in inputs.out_edges(src, flow)],
+                1.0,
+            )
+            model.add_eq(
+                [(self.route_vars[flow, e], 1.0) for e in inputs.in_edges(src, flow)],
+                0.0,
+            )
+            model.add_eq(
+                [(self.route_vars[flow, e], 1.0) for e in inputs.in_edges(dst, flow)],
+                1.0,
+            )
+            model.add_eq(
+                [(self.route_vars[flow, e], 1.0) for e in inputs.out_edges(dst, flow)],
+                0.0,
+            )
+            for n in inputs.flow_nodes(flow):
+                if n in (src, dst):
+                    continue
+                incoming = [
+                    (self.route_vars[flow, e], 1.0) for e in inputs.in_edges(n, flow)
+                ]
+                outgoing = [
+                    (self.route_vars[flow, e], -1.0)
+                    for e in inputs.out_edges(n, flow)
+                ]
+                if incoming or outgoing:
+                    model.add_eq(incoming + outgoing, 0.0)
+                if incoming:
+                    model.add_le(incoming, 1.0)
+        self.capacity_rows: dict = {}
+        for link in inputs.links:
+            capacity = inputs.capacities[link]
+            if math.isinf(capacity):
+                continue
+            terms = [
+                (self.route_vars[flow, link], inputs.demands[flow])
+                for flow in inputs.flows
+                if (flow, link) in self.route_vars
+            ]
+            if terms:
+                self.capacity_rows[link] = model.add_le(terms, capacity)
+
+    # -- Table 2, right column: placement ---------------------------------------
+
+    def _placement_constraints(self) -> None:
+        inputs = self.inputs
+        model = self.model
+        if self.fixed_placement is None:
+            for s in inputs.state_vars:
+                model.add_eq(
+                    [(self.place_vars[s, n], 1.0) for n in inputs.stateful_switches],
+                    1.0,
+                )
+            for s, t in inputs.tied_pairs:
+                for n in inputs.stateful_switches:
+                    model.add_eq(
+                        [(self.place_vars[s, n], 1.0), (self.place_vars[t, n], -1.0)],
+                        0.0,
+                    )
+            # Optional switch-memory budget (§7.3 extension).
+            for n, capacity in inputs.state_capacity.items():
+                if n not in inputs.stateful_switches:
+                    continue
+                model.add_le(
+                    [(self.place_vars[s, n], 1.0) for s in inputs.state_vars],
+                    float(capacity),
+                )
+        # Flows visit the switches of the variables they need.
+        known = set(inputs.state_vars)
+        for flow in inputs.flows:
+            needed = inputs.mapping.states_for(*flow)
+            for s in needed:
+                if s not in known:
+                    continue
+                for n in inputs.stateful_switches:
+                    p_terms, p_const = self._p_terms(s, n)
+                    if not p_terms and p_const == 0.0:
+                        continue
+                    incoming = [
+                        (self.route_vars[flow, e], 1.0)
+                        for e in inputs.in_edges(n, flow)
+                    ]
+                    negated = [(var, -coef) for var, coef in p_terms]
+                    model.add_ge(incoming + negated, p_const)
+
+    # -- Table 2, right column: PS flow and ordering ------------------------------
+
+    def _ordering_constraints(self) -> None:
+        inputs = self.inputs
+        model = self.model
+        self.ps_vars_handle: dict = {}
+        for flow in inputs.flows:
+            tracked = inputs.ps_vars[flow]
+            if not tracked:
+                continue
+            u, v = flow
+            src = port_node(u)
+            dst = port_node(v)
+            needed = inputs.mapping.states_for(u, v)
+            for s in tracked:
+                ps: dict = {}
+                for link in inputs.flow_links(flow):
+                    var = model.add_var(f"PS[{s},{flow},{link}]", 0.0, 1.0)
+                    ps[link] = var
+                    model.add_le(
+                        [(var, 1.0), (self.route_vars[flow, link], -1.0)], 0.0
+                    )
+                self.ps_vars_handle[s, flow] = ps
+                # Nothing has passed s when leaving the source.
+                model.add_eq(
+                    [(ps[e], 1.0) for e in inputs.out_edges(src, flow)], 0.0
+                )
+                # Everything has passed s when reaching the sink.
+                model.add_eq(
+                    [(ps[e], 1.0) for e in inputs.in_edges(dst, flow)], 1.0
+                )
+                # Conservation with injection at s's switch.
+                for n in inputs.flow_nodes(flow):
+                    if n in (src, dst):
+                        continue
+                    p_terms, p_const = (
+                        self._p_terms(s, n)
+                        if n in inputs.stateful_switches
+                        else ([], 0.0)
+                    )
+                    outgoing = [(ps[e], 1.0) for e in inputs.out_edges(n, flow)]
+                    incoming = [(ps[e], -1.0) for e in inputs.in_edges(n, flow)]
+                    if not outgoing and not incoming and not p_terms:
+                        continue
+                    model.add_eq(
+                        outgoing + incoming + [(v_, -c) for v_, c in p_terms],
+                        p_const,
+                    )
+                # Ordering: at t's switch, flow must already have passed s.
+                for s2, t in inputs.dep_pairs:
+                    if s2 != s or t not in needed:
+                        continue
+                    for n in inputs.stateful_switches:
+                        pt_terms, pt_const = self._p_terms(t, n)
+                        ps_terms, ps_const = self._p_terms(s, n)
+                        incoming = [(ps[e], 1.0) for e in inputs.in_edges(n, flow)]
+                        lhs = incoming + ps_terms + [(v_, -c) for v_, c in pt_terms]
+                        model.add_ge(lhs, pt_const - ps_const)
+
+    def _objective(self) -> None:
+        inputs = self.inputs
+        terms = []
+        for flow in inputs.flows:
+            demand = inputs.demands[flow]
+            for link in inputs.flow_links(flow):
+                capacity = inputs.capacities[link]
+                if math.isinf(capacity):
+                    continue
+                terms.append((self.route_vars[flow, link], demand / capacity))
+        self.model.minimize(terms)
+
+    # -- incremental updates (§6.2.2) ---------------------------------------------
+
+    def fail_link(self, a: str, b: str, bidirectional: bool = True) -> None:
+        """Take a link out of service by pinning its routing variables to 0.
+
+        This is the paper's "incremental modification" path: the standing
+        model is patched in O(flows) time instead of being rebuilt.
+        PS variables follow automatically through ``PS <= R``.
+        """
+        links = [(a, b)] + ([(b, a)] if bidirectional else [])
+        for link in links:
+            for flow in self.inputs.flows:
+                var = self.route_vars.get((flow, link))
+                if var is not None:
+                    self.model.set_var_bounds(var, 0.0, 0.0)
+
+    def restore_link(self, a: str, b: str, bidirectional: bool = True) -> None:
+        """Undo :meth:`fail_link`."""
+        links = [(a, b)] + ([(b, a)] if bidirectional else [])
+        for link in links:
+            for flow in self.inputs.flows:
+                var = self.route_vars.get((flow, link))
+                if var is not None:
+                    self.model.set_var_bounds(var, 0.0, 1.0)
+
+    def set_demands(self, new_demands: dict) -> None:
+        """Patch the traffic matrix in place (same flow set required).
+
+        Updates the demand coefficients in every capacity row and in the
+        objective, without regenerating the model.
+        """
+        missing = [f for f in self.inputs.flows if new_demands.get(f, 0.0) <= 0.0]
+        extra = [
+            f for f, d in new_demands.items()
+            if d > 0.0 and f not in set(self.inputs.flows)
+        ]
+        if missing or extra:
+            raise PlacementError(
+                "incremental demand update requires the same flow set "
+                f"(missing={missing[:3]}, extra={extra[:3]}); rebuild instead"
+            )
+        self.inputs.demands = {f: float(new_demands[f]) for f in self.inputs.flows}
+        inputs = self.inputs
+        for link, row in self.capacity_rows.items():
+            terms = [
+                (self.route_vars[flow, link], inputs.demands[flow])
+                for flow in inputs.flows
+                if (flow, link) in self.route_vars
+            ]
+            self.model.set_row_terms(row, terms)
+        self._objective()
+
+    # -- solving -----------------------------------------------------------------
+
+    def solve(self, time_limit: float | None = None, mip_rel_gap: float | None = None):
+        solution = self.model.solve(time_limit=time_limit, mip_rel_gap=mip_rel_gap)
+        placement = self._extract_placement(solution)
+        routing = self._extract_routing(solution)
+        return PlacementSolution(
+            placement=placement,
+            routing=routing,
+            objective=solution.objective,
+            inputs=self.inputs,
+        )
+
+    def _extract_placement(self, solution: Solution) -> dict:
+        if self.fixed_placement is not None:
+            return dict(self.fixed_placement)
+        placement = {}
+        for s in self.inputs.state_vars:
+            best, best_val = None, -1.0
+            for n in self.inputs.stateful_switches:
+                val = solution[self.place_vars[s, n]]
+                if val > best_val:
+                    best, best_val = n, val
+            if best is None or best_val < 0.5:
+                raise PlacementError(f"no placement chosen for {s!r}")
+            placement[s] = best
+        return placement
+
+    def _extract_routing(self, solution: Solution) -> dict:
+        routing: dict = {}
+        for flow in self.inputs.flows:
+            fractions = {}
+            for link in self.inputs.flow_links(flow):
+                val = solution[self.route_vars[flow, link]]
+                if val > 1e-6:
+                    fractions[link] = val
+            routing[flow] = fractions
+        return routing
+
+
+class PlacementSolution:
+    """Placement + per-flow link fractions; see results.py for paths."""
+
+    def __init__(self, placement: dict, routing: dict, objective: float, inputs):
+        self.placement = placement
+        self.routing = routing
+        self.objective = objective
+        self.inputs = inputs
+
+    def __repr__(self):
+        return (
+            f"PlacementSolution(placement={self.placement}, "
+            f"objective={self.objective:.4f}, flows={len(self.routing)})"
+        )
+
+
+def build_placement_model(
+    topology: Topology,
+    demands: dict,
+    mapping: PacketStateMapping,
+    dependencies: DependencyInfo,
+    stateful_switches=None,
+    state_capacity=None,
+) -> PlacementModel:
+    """Phase P4 for the ST problem: construct (but do not solve) the MILP."""
+    inputs = PlacementInputs(
+        topology,
+        demands,
+        mapping,
+        dependencies,
+        stateful_switches,
+        state_capacity=state_capacity,
+    )
+    return PlacementModel(inputs)

@@ -1,0 +1,110 @@
+"""Fine-grained flow refinement (§4.4).
+
+"Suppose packet-state mapping finds that only packets with srcip = x need
+state variable s.  We refine the MILP input to have two edge nodes per
+port, one for traffic with srcip = x and one for the rest, so the MILP can
+choose different paths for them."
+
+:func:`split_port` rewrites the MILP inputs: the chosen OBS port becomes
+several logical sub-ports attached to the same switch, its demands are
+divided among them, and each sub-port carries only the state needs of its
+traffic class.  The placement/routing machinery is unchanged — sub-ports
+are ordinary ports to it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.packet_state import PacketStateMapping
+from repro.lang.errors import TopologyError
+from repro.topology.graph import Topology
+
+
+class PortSplit:
+    """Description of one traffic class at a split port.
+
+    Attributes:
+        label:    class name (for reporting).
+        fraction: share of the original port's demand (must sum to 1).
+        states:   either the string ``"inherit"`` (keep the original
+                  port's state needs) or an explicit set of variable names
+                  this class needs (typically a subset).
+    """
+
+    def __init__(self, label: str, fraction: float, states="inherit"):
+        if fraction < 0:
+            raise ValueError("fraction must be non-negative")
+        self.label = label
+        self.fraction = float(fraction)
+        self.states = states
+
+    def needs(self, inherited: frozenset) -> frozenset:
+        if isinstance(self.states, str) and self.states == "inherit":
+            return inherited
+        return frozenset(self.states)
+
+
+def split_port(
+    topology: Topology,
+    demands: dict,
+    mapping: PacketStateMapping,
+    port: int,
+    classes,
+):
+    """Split ``port`` into one logical sub-port per class.
+
+    Returns ``(new_topology, new_demands, new_mapping, port_of_class)``
+    where ``port_of_class`` maps class label -> new port number.  The
+    first class reuses the original port number so untouched callers keep
+    working.
+    """
+    classes = list(classes)
+    if not classes:
+        raise ValueError("need at least one traffic class")
+    total = sum(c.fraction for c in classes)
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"class fractions must sum to 1, got {total}")
+    if port not in topology.ports:
+        raise TopologyError(f"unknown OBS port {port}")
+
+    switch = topology.port_switch(port)
+    new_topology = Topology(topology.name + f"-split{port}")
+    new_topology.graph = topology.graph.copy()
+    new_topology.ports = dict(topology.ports)
+    next_port = max(topology.ports) + 1
+    port_of_class = {}
+    for i, cls in enumerate(classes):
+        if i == 0:
+            port_of_class[cls.label] = port
+        else:
+            new_topology.ports[next_port] = switch
+            port_of_class[cls.label] = next_port
+            next_port += 1
+
+    other_ports = [p for p in topology.ports if p != port]
+    new_demands: dict = {}
+    needed: dict = {}
+    for (u, v), demand in demands.items():
+        if u != port and v != port:
+            new_demands[(u, v)] = demand
+    for (u, v), states in mapping.items():
+        if u != port and v != port:
+            needed[(u, v)] = states
+    for cls in classes:
+        sub = port_of_class[cls.label]
+        for other in other_ports:
+            out_demand = demands.get((port, other), 0.0) * cls.fraction
+            if out_demand > 0:
+                new_demands[(sub, other)] = out_demand
+            in_demand = demands.get((other, port), 0.0) * cls.fraction
+            if in_demand > 0:
+                new_demands[(other, sub)] = in_demand
+            out_states = cls.needs(mapping.states_for(port, other))
+            if out_states:
+                needed[(sub, other)] = out_states
+            in_states = cls.needs(mapping.states_for(other, port))
+            if in_states:
+                needed[(other, sub)] = in_states
+
+    all_ports = sorted(new_topology.ports)
+    new_mapping = PacketStateMapping(needed, all_ports, all_ports)
+    return new_topology, new_demands, new_mapping, port_of_class

@@ -1,0 +1,189 @@
+"""Turning MILP link fractions into concrete forwarding paths.
+
+The prototype "chooses the same path for the traffic between the same
+ports" (§4.4), so after solving we decompose each flow's fractional edge
+values into paths and install the heaviest one.  Every decomposed path
+provably visits every switch holding a state variable the flow needs (the
+visit constraint forces *all* flow through those switches); the rare
+shared-node decomposition artifact that breaks state *ordering* is
+repaired by re-stitching the path through the state switches in
+dependency order.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.lang.errors import PlacementError
+from repro.topology.graph import Topology, port_node
+
+
+def decompose_flow(fractions: dict, source: str, sink: str):
+    """Decompose edge fractions into simple paths with weights.
+
+    Standard flow decomposition: repeatedly find a source->sink path over
+    positive-residual edges (BFS — flow conservation guarantees one exists
+    while residual flow remains), subtract the bottleneck.  Returns a list
+    of ``(path_nodes, weight)`` sorted by descending weight.
+    """
+    residual = {e: f for e, f in fractions.items() if f > 1e-9}
+    paths = []
+    for _ in range(1000):
+        adjacency: dict = {}
+        for (i, j), f in residual.items():
+            adjacency.setdefault(i, []).append(j)
+        parent = {source: None}
+        frontier = [source]
+        while frontier and sink not in parent:
+            nxt = []
+            for node in frontier:
+                for neighbour in adjacency.get(node, ()):
+                    if neighbour not in parent:
+                        parent[neighbour] = node
+                        nxt.append(neighbour)
+            frontier = nxt
+        if sink not in parent:
+            break
+        path = [sink]
+        while parent[path[-1]] is not None:
+            path.append(parent[path[-1]])
+        path.reverse()
+        bottleneck = min(residual[(a, b)] for a, b in zip(path, path[1:]))
+        for a, b in zip(path, path[1:]):
+            residual[(a, b)] -= bottleneck
+            if residual[(a, b)] <= 1e-9:
+                del residual[(a, b)]
+        paths.append((tuple(path), bottleneck))
+        if not residual:
+            break
+    paths.sort(key=lambda p: -p[1])
+    return paths
+
+
+def _state_sequence(flow, mapping, dependencies, placement):
+    """The switches a flow must visit, in dependency order."""
+    needed = mapping.states_for(*flow)
+    ordered_vars = [s for s in dependencies.order if s in needed]
+    ordered_vars += sorted(needed - set(ordered_vars))
+    switches = []
+    for s in ordered_vars:
+        n = placement[s]
+        if n not in switches:
+            switches.append(n)
+    return switches
+
+
+def _path_respects_order(path, required_switches) -> bool:
+    positions = []
+    for switch in required_switches:
+        try:
+            positions.append(path.index(switch))
+        except ValueError:
+            return False
+    return positions == sorted(positions)
+
+
+def _stitch_path(graph: nx.DiGraph, waypoints):
+    """Shortest-path concatenation through the waypoint sequence.
+
+    The concatenation may revisit nodes; loops that contain no waypoint
+    are excised so the result stays a simple path (required by the
+    per-(u, v) match-action next-hop tables).
+    """
+    full = [waypoints[0]]
+    for a, b in zip(waypoints, waypoints[1:]):
+        if a == b:
+            continue
+        try:
+            segment = nx.shortest_path(graph, a, b)
+        except nx.NetworkXNoPath:
+            raise PlacementError(f"no path between waypoints {a!r} and {b!r}")
+        full.extend(segment[1:])
+    required = set(waypoints)
+    simplified: list = []
+    position: dict = {}
+    for node in full:
+        if node in position:
+            start = position[node]
+            loop = simplified[start + 1 :]
+            if any(x in required for x in loop):
+                raise PlacementError(
+                    f"cannot realize a simple path through waypoints {waypoints}"
+                )
+            for dropped in loop:
+                del position[dropped]
+            del simplified[start + 1 :]
+        else:
+            position[node] = len(simplified)
+            simplified.append(node)
+    return tuple(simplified)
+
+
+class RoutingPaths:
+    """Installed (single) path per OBS flow, switch-level."""
+
+    def __init__(self, paths: dict, placement: dict):
+        #: (u, v) -> tuple of switch names, ingress switch first.
+        self.paths = paths
+        self.placement = placement
+
+    def path(self, u, v):
+        return self.paths.get((u, v))
+
+    def next_hop(self, u, v, current: str):
+        """The switch after ``current`` on the (u, v) path, or None at end."""
+        path = self.paths.get((u, v))
+        if path is None or current not in path:
+            return None
+        idx = path.index(current)
+        return path[idx + 1] if idx + 1 < len(path) else None
+
+    def link_loads(self, demands: dict) -> dict:
+        loads: dict = {}
+        for flow, path in self.paths.items():
+            demand = demands.get(flow, 0.0)
+            for a, b in zip(path, path[1:]):
+                loads[(a, b)] = loads.get((a, b), 0.0) + demand
+        return loads
+
+    def __repr__(self):
+        return f"RoutingPaths({len(self.paths)} flows)"
+
+
+def extract_paths(solution, topology: Topology, mapping, dependencies) -> RoutingPaths:
+    """Primary switch-level path per flow, with ordering repair."""
+    paths: dict = {}
+    for flow, fractions in solution.routing.items():
+        u, v = flow
+        decomposed = decompose_flow(fractions, port_node(u), port_node(v))
+        required = _state_sequence(flow, mapping, dependencies, solution.placement)
+        chosen = None
+        for candidate, _weight in decomposed:
+            switch_path = tuple(n for n in candidate if not n.startswith("port:"))
+            if _path_respects_order(list(switch_path), required):
+                chosen = switch_path
+                break
+        if chosen is None:
+            # Decomposition artifact (or no decomposition): stitch through
+            # the required switches with shortest segments.
+            waypoints = [topology.port_switch(u)] + required + [topology.port_switch(v)]
+            chosen = _stitch_path(topology.graph, waypoints)
+        paths[flow] = chosen
+    return RoutingPaths(paths, solution.placement)
+
+
+def validate_solution(
+    routing: RoutingPaths, topology: Topology, mapping, dependencies
+) -> None:
+    """Assert every installed path visits its state switches in order."""
+    for (u, v), path in routing.paths.items():
+        required = _state_sequence((u, v), mapping, dependencies, routing.placement)
+        if not _path_respects_order(list(path), required):
+            raise PlacementError(
+                f"flow {(u, v)} path {path} misses/misorders state switches "
+                f"{required}"
+            )
+        if path[0] != topology.port_switch(u) or path[-1] != topology.port_switch(v):
+            raise PlacementError(f"flow {(u, v)} path endpoints wrong: {path}")
+        for a, b in zip(path, path[1:]):
+            topology.capacity(a, b)  # raises if the link does not exist

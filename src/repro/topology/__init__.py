@@ -1,0 +1,25 @@
+"""Topologies: the Figure 2 campus, Table 5 stand-ins, IGen generator, traffic."""
+
+from repro.topology.campus import CAMPUS_PORTS, campus_subnet, campus_topology
+from repro.topology.graph import PORT_LINK_CAPACITY, Topology, port_node
+from repro.topology.igen import igen_topology
+from repro.topology.synthetic import (
+    ENTERPRISE_NAMES,
+    ISP_NAMES,
+    TABLE5,
+    all_table5_topologies,
+    paper_num_ports,
+    synthetic_topology,
+    table5_topology,
+)
+from repro.topology.traffic import gravity_traffic_matrix, uniform_traffic_matrix
+
+__all__ = [
+    "CAMPUS_PORTS", "campus_subnet", "campus_topology",
+    "PORT_LINK_CAPACITY", "Topology", "port_node",
+    "igen_topology",
+    "ENTERPRISE_NAMES", "ISP_NAMES", "TABLE5",
+    "all_table5_topologies", "paper_num_ports", "synthetic_topology",
+    "table5_topology",
+    "gravity_traffic_matrix", "uniform_traffic_matrix",
+]

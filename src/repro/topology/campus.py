@@ -1,0 +1,52 @@
+"""The running-example campus topology (Figure 2).
+
+I1/I2 are Internet gateways, D1–D4 department edge switches (D4 is the CS
+building, subnet 10.0.6.0/24), C1–C6 core routers.  External ports 1–6
+carry subnets 10.0.<port>.0/24.
+
+The wiring reproduces the paths §2.2 reports: I1/D1 reach D4 via C1 and
+C5; I2/D2 via C2 and C6; D3 via C5.
+"""
+
+from __future__ import annotations
+
+from repro.topology.graph import Topology
+from repro.util.ipaddr import IPPrefix
+
+#: OBS port -> (switch, attached subnet)
+CAMPUS_PORTS = {
+    1: ("I1", IPPrefix("10.0.1.0/24")),
+    2: ("I2", IPPrefix("10.0.2.0/24")),
+    3: ("D1", IPPrefix("10.0.3.0/24")),
+    4: ("D2", IPPrefix("10.0.4.0/24")),
+    5: ("D3", IPPrefix("10.0.5.0/24")),
+    6: ("D4", IPPrefix("10.0.6.0/24")),
+}
+
+
+def campus_topology(capacity: float = 1000.0) -> Topology:
+    """Build the Figure 2 campus network with uniform link capacities."""
+    topo = Topology("campus")
+    for switch in ("I1", "I2", "D1", "D2", "D3", "D4", "C1", "C2", "C3", "C4", "C5", "C6"):
+        topo.add_switch(switch)
+    links = [
+        ("I1", "C1"), ("D1", "C1"),
+        ("I2", "C2"), ("D2", "C2"),
+        ("D3", "C5"), ("D3", "C3"),
+        ("D4", "C5"), ("D4", "C6"),
+        ("C1", "C5"), ("C1", "C3"),
+        ("C2", "C6"), ("C2", "C4"),
+        ("C3", "C4"), ("C3", "C5"),
+        ("C4", "C6"), ("C5", "C6"),
+    ]
+    for a, b in links:
+        topo.add_link(a, b, capacity)
+    for port, (switch, _subnet) in CAMPUS_PORTS.items():
+        topo.attach_port(port, switch)
+    topo.validate()
+    return topo
+
+
+def campus_subnet(port: int) -> IPPrefix:
+    """The IP subnet attached to an OBS port (10.0.<port>.0/24)."""
+    return CAMPUS_PORTS[port][1]

@@ -1,0 +1,97 @@
+"""IGen-style synthetic topologies for the scaling experiment (Figure 10).
+
+IGen [29] builds router-level topologies with network-design heuristics:
+routers are placed in a plane, clustered into PoPs, each PoP is wired with
+a cheap local structure, and PoPs are joined by a backbone.  We reproduce
+that recipe: k-means clustering of random points, intra-cluster star plus
+nearest-neighbour rings, and a backbone connecting each cluster head to
+its two nearest heads (plus a ring for redundancy).
+
+As in §6.2.1, 70% of the switches with the lowest degrees are chosen as
+edge switches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.graph import Topology
+from repro.util.rng import make_rng
+
+
+def _kmeans(points: np.ndarray, k: int, rng, iterations: int = 25):
+    centers = points[rng.choice(len(points), size=k, replace=False)]
+    assign = np.zeros(len(points), dtype=int)
+    for _ in range(iterations):
+        distances = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        assign = distances.argmin(axis=1)
+        for c in range(k):
+            members = points[assign == c]
+            if len(members):
+                centers[c] = members.mean(axis=0)
+    return assign, centers
+
+
+def igen_topology(
+    num_switches: int,
+    num_ports: int | None = None,
+    edge_fraction: float = 0.7,
+    capacity: float = 10_000.0,
+    seed: int = 0,
+) -> Topology:
+    """Generate an IGen-like topology with ``num_switches`` routers."""
+    rng = make_rng(seed)
+    topo = Topology(f"igen-{num_switches}")
+    names = [f"r{i}" for i in range(num_switches)]
+    for name in names:
+        topo.add_switch(name)
+    points = rng.random((num_switches, 2))
+    k = max(1, num_switches // 10)
+    assign, centers = _kmeans(points, k, rng)
+
+    added: set = set()
+
+    def connect(i: int, j: int):
+        key = (min(i, j), max(i, j))
+        if i != j and key not in added:
+            added.add(key)
+            topo.add_link(names[i], names[j], capacity)
+
+    heads = []
+    for c in range(k):
+        members = np.flatnonzero(assign == c)
+        if len(members) == 0:
+            continue
+        # Cluster head: member closest to the center.
+        dist = ((points[members] - centers[c]) ** 2).sum(axis=1)
+        head = int(members[dist.argmin()])
+        heads.append(head)
+        # Star to the head plus a local ring for redundancy.
+        ordered = sorted(int(m) for m in members if m != head)
+        for m in ordered:
+            connect(m, head)
+        for a, b in zip(ordered, ordered[1:]):
+            connect(a, b)
+    # Backbone: ring over heads plus 2-nearest-neighbour chords.
+    if len(heads) > 1:
+        for a, b in zip(heads, heads[1:] + heads[:1]):
+            connect(a, b)
+        head_points = points[heads]
+        for idx, head in enumerate(heads):
+            dist = ((head_points - head_points[idx]) ** 2).sum(axis=1)
+            for neighbour in dist.argsort()[1:3]:
+                connect(head, heads[int(neighbour)])
+
+    degree = {name: 0 for name in names}
+    for a, b in added:
+        degree[names[a]] += 1
+        degree[names[b]] += 1
+    order = sorted(names, key=lambda n: (degree[n], n))
+    num_edge = max(1, int(edge_fraction * num_switches))
+    edge_switches = order[:num_edge]
+    if num_ports is None:
+        num_ports = len(edge_switches)
+    for port in range(1, num_ports + 1):
+        topo.attach_port(port, edge_switches[(port - 1) % len(edge_switches)])
+    topo.validate()
+    return topo

@@ -1,0 +1,33 @@
+"""Gravity-model traffic matrices (§6.2.1, Roughan [31]).
+
+Each OBS port gets an activity weight drawn from an exponential
+distribution; the demand between ports u and v is proportional to
+``w_u * w_v``, normalized so the total offered load is ``total_demand``.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import make_rng
+
+
+def gravity_traffic_matrix(ports, total_demand: float = 1000.0, seed: int = 0) -> dict:
+    """Demands dict ``(u, v) -> volume`` for all ordered pairs, zero diagonal."""
+    ports = list(ports)
+    rng = make_rng(seed)
+    weights = {p: float(w) for p, w in zip(ports, rng.exponential(1.0, len(ports)))}
+    mass = sum(
+        weights[u] * weights[v] for u in ports for v in ports if u != v
+    )
+    scale = total_demand / mass if mass else 0.0
+    return {
+        (u, v): weights[u] * weights[v] * scale
+        for u in ports
+        for v in ports
+        if u != v
+    }
+
+
+def uniform_traffic_matrix(ports, volume: float = 1.0) -> dict:
+    """Equal demand on every ordered pair (tests and microbenches)."""
+    ports = list(ports)
+    return {(u, v): volume for u in ports for v in ports if u != v}

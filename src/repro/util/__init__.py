@@ -1,0 +1,7 @@
+"""Shared utilities: IP-prefix arithmetic, phase timers, deterministic RNG."""
+
+from repro.util.ipaddr import IPPrefix, ip_to_int, int_to_ip
+from repro.util.timer import PhaseTimer
+from repro.util.rng import make_rng
+
+__all__ = ["IPPrefix", "ip_to_int", "int_to_ip", "PhaseTimer", "make_rng"]

@@ -1,0 +1,110 @@
+"""Minimal IPv4 address and prefix arithmetic.
+
+SNAP tests such as ``dstip = 10.0.6.0/24`` match a packet field against a
+CIDR prefix.  We avoid the stdlib ``ipaddress`` module's object overhead on
+the hot matching path by representing addresses as plain integers and
+prefixes as immutable ``(network_int, length)`` pairs.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+
+def ip_to_int(text: str) -> int:
+    """Convert dotted-quad ``'10.0.6.1'`` to its 32-bit integer value."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"bad octet {part!r} in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer back to dotted-quad notation."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"not a 32-bit value: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+class IPPrefix:
+    """An immutable IPv4 CIDR prefix, e.g. ``IPPrefix('10.0.6.0/24')``.
+
+    A /32 prefix behaves like a single address.  Prefixes are hashable and
+    ordered (by network then length) so they can serve as xFDD test values.
+    """
+
+    __slots__ = ("network", "length")
+
+    def __init__(self, text_or_network, length: int | None = None):
+        if isinstance(text_or_network, str):
+            if "/" in text_or_network:
+                addr, _, plen = text_or_network.partition("/")
+                self.length = int(plen)
+            else:
+                addr = text_or_network
+                self.length = 32
+            if not 0 <= self.length <= 32:
+                raise ValueError(f"bad prefix length in {text_or_network!r}")
+            self.network = ip_to_int(addr) & self.mask
+        else:
+            self.length = 32 if length is None else length
+            if not 0 <= self.length <= 32:
+                raise ValueError(f"bad prefix length {length}")
+            self.network = int(text_or_network) & self.mask
+
+    @property
+    def mask(self) -> int:
+        return 0 if self.length == 0 else (0xFFFFFFFF << (32 - self.length)) & 0xFFFFFFFF
+
+    def contains(self, other) -> bool:
+        """True if ``other`` (an int address or IPPrefix) lies inside self."""
+        if isinstance(other, IPPrefix):
+            return other.length >= self.length and (other.network & self.mask) == self.network
+        return (int(other) & self.mask) == self.network
+
+    def overlaps(self, other: "IPPrefix") -> bool:
+        """True if the two prefixes share any address."""
+        return self.contains(other) or other.contains(self)
+
+    @property
+    def is_host(self) -> bool:
+        return self.length == 32
+
+    def host(self, offset: int) -> int:
+        """The integer address of the ``offset``-th host inside the prefix."""
+        size = 1 << (32 - self.length)
+        if not 0 <= offset < size:
+            raise ValueError(f"host offset {offset} outside /{self.length}")
+        return self.network + offset
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, IPPrefix)
+            and self.network == other.network
+            and self.length == other.length
+        )
+
+    def __lt__(self, other):
+        return (self.network, self.length) < (other.network, other.length)
+
+    def __hash__(self):
+        return hash((self.network, self.length))
+
+    def __repr__(self):
+        return f"IPPrefix({str(self)!r})"
+
+    def __str__(self):
+        base = int_to_ip(self.network)
+        return base if self.length == 32 else f"{base}/{self.length}"
+
+
+@lru_cache(maxsize=4096)
+def parse_prefix(text: str) -> IPPrefix:
+    """Cached prefix constructor for the parser's hot path."""
+    return IPPrefix(text)

@@ -1,0 +1,16 @@
+"""Deterministic random number generation.
+
+Every stochastic component (topology generators, traffic matrices, test
+workloads) takes a seed so experiments are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed) -> np.random.Generator:
+    """A numpy Generator from an int seed, another Generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

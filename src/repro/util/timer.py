@@ -1,0 +1,45 @@
+"""Phase timing used by the compiler pipeline and the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class PhaseTimer:
+    """Records wall-clock durations for named compiler phases.
+
+    The paper's Table 4 names six phases P1..P6; the pipeline wraps each in
+    ``timer.phase(name)`` and benchmarks read ``timer.durations`` to print
+    Table 6-style rows.
+    """
+
+    def __init__(self):
+        self.durations: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.durations[name] = self.durations.get(name, 0.0) + elapsed
+
+    def total(self, names=None) -> float:
+        """Sum of durations, optionally restricted to ``names``."""
+        if names is None:
+            return sum(self.durations.values())
+        return sum(self.durations.get(name, 0.0) for name in names)
+
+    def merged(self, other: "PhaseTimer") -> "PhaseTimer":
+        """A new timer with durations from both (for multi-run totals)."""
+        result = PhaseTimer()
+        result.durations = dict(self.durations)
+        for name, value in other.durations.items():
+            result.durations[name] = result.durations.get(name, 0.0) + value
+        return result
+
+    def __repr__(self):
+        rows = ", ".join(f"{k}={v:.3f}s" for k, v in sorted(self.durations.items()))
+        return f"PhaseTimer({rows})"

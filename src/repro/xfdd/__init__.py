@@ -1,0 +1,30 @@
+"""The xFDD intermediate representation and its composition algebra."""
+
+from repro.xfdd.actions import FieldAssign, StateAssign, StateDelta
+from repro.xfdd.build import build_xfdd, to_xfdd
+from repro.xfdd.compose import Composer
+from repro.xfdd.context import Context, EMPTY_CONTEXT
+from repro.xfdd.diagram import (
+    DROP,
+    IDENTITY,
+    Branch,
+    Leaf,
+    XFDD,
+    evaluate,
+    iter_leaves,
+    iter_paths,
+    make_branch,
+    make_leaf,
+    size,
+)
+from repro.xfdd.order import TestOrder, trivial_order
+from repro.xfdd.tests import FieldFieldTest, FieldValueTest, StateVarTest
+
+__all__ = [
+    "FieldAssign", "StateAssign", "StateDelta",
+    "build_xfdd", "to_xfdd", "Composer", "Context", "EMPTY_CONTEXT",
+    "DROP", "IDENTITY", "Branch", "Leaf", "XFDD",
+    "evaluate", "iter_leaves", "iter_paths", "make_branch", "make_leaf",
+    "size", "TestOrder", "trivial_order",
+    "FieldFieldTest", "FieldValueTest", "StateVarTest",
+]

@@ -1,0 +1,92 @@
+"""Translating SNAP policies to xFDDs — ``to-xfdd`` of Figure 6::
+
+    to-xfdd(a)                    = {a}
+    to-xfdd(f = v)                = f = v ? {id} : {drop}
+    to-xfdd(!x)                   = ⊖ to-xfdd(x)
+    to-xfdd(s[e1] = e2)           = s[e1] = e2 ? {id} : {drop}
+    to-xfdd(atomic(p))            = to-xfdd(p)
+    to-xfdd(p + q)                = to-xfdd(p) ⊕ to-xfdd(q)
+    to-xfdd(p ; q)                = to-xfdd(p) ⊙ to-xfdd(q)
+    to-xfdd(if x then p else q)   = (to-xfdd(x) ⊙ to-xfdd(p))
+                                    ⊕ (⊖ to-xfdd(x) ⊙ to-xfdd(q))
+
+Conjunction and disjunction of predicates translate through ⊙ and ⊕.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.errors import SnapError
+from repro.lang.fields import DEFAULT_REGISTRY, FieldRegistry
+from repro.xfdd.actions import FieldAssign, StateAssign, StateDelta
+from repro.xfdd.compose import Composer
+from repro.xfdd.diagram import DROP, IDENTITY, XFDD, make_branch, make_leaf
+from repro.xfdd.order import TestOrder
+from repro.xfdd.tests import FieldValueTest, StateVarTest
+
+
+def to_xfdd(policy: ast.Policy, composer: Composer) -> XFDD:
+    """Translate a policy using the given composition engine."""
+    if isinstance(policy, ast.Id):
+        return IDENTITY
+    if isinstance(policy, ast.Drop):
+        return DROP
+    if isinstance(policy, ast.Test):
+        return make_branch(FieldValueTest(policy.field, policy.value), IDENTITY, DROP)
+    if isinstance(policy, ast.StateTest):
+        test = StateVarTest(policy.var, policy.index, policy.value)
+        return make_branch(test, IDENTITY, DROP)
+    if isinstance(policy, ast.Not):
+        return composer.negate(to_xfdd(policy.pred, composer))
+    if isinstance(policy, ast.And):
+        return composer.sequence(
+            to_xfdd(policy.left, composer), to_xfdd(policy.right, composer)
+        )
+    if isinstance(policy, ast.Or):
+        return composer.union(
+            to_xfdd(policy.left, composer), to_xfdd(policy.right, composer)
+        )
+    if isinstance(policy, ast.Mod):
+        return make_leaf([(FieldAssign(policy.field, policy.value),)])
+    if isinstance(policy, ast.StateMod):
+        return make_leaf([(StateAssign(policy.var, policy.index, policy.value),)])
+    if isinstance(policy, ast.StateIncr):
+        return make_leaf([(StateDelta(policy.var, policy.index, +1),)])
+    if isinstance(policy, ast.StateDecr):
+        return make_leaf([(StateDelta(policy.var, policy.index, -1),)])
+    if isinstance(policy, ast.Parallel):
+        return composer.union(
+            to_xfdd(policy.left, composer), to_xfdd(policy.right, composer)
+        )
+    if isinstance(policy, ast.Seq):
+        return composer.sequence(
+            to_xfdd(policy.left, composer), to_xfdd(policy.right, composer)
+        )
+    if isinstance(policy, ast.If):
+        guard = to_xfdd(policy.pred, composer)
+        then_d = composer.sequence(guard, to_xfdd(policy.then, composer))
+        else_d = composer.sequence(
+            composer.negate(guard), to_xfdd(policy.orelse, composer)
+        )
+        return composer.union(then_d, else_d)
+    if isinstance(policy, ast.Atomic):
+        return to_xfdd(policy.body, composer)
+    raise SnapError(f"cannot translate {policy!r} to an xFDD")
+
+
+def build_xfdd(
+    policy: ast.Policy,
+    registry: FieldRegistry | None = None,
+    state_rank: dict | None = None,
+) -> XFDD:
+    """Convenience entry point: compute the test order and translate.
+
+    When ``state_rank`` is omitted the dependency analysis supplies it
+    (§4.2: the state-test order derives from the dependency graph).
+    """
+    if state_rank is None:
+        from repro.analysis.dependency import analyze_dependencies
+
+        state_rank = analyze_dependencies(policy).state_rank
+    order = TestOrder(registry or DEFAULT_REGISTRY, state_rank)
+    return to_xfdd(policy, Composer(order))

@@ -1,0 +1,126 @@
+"""Hypothesis strategies for SNAP policies, packets, and stores.
+
+The generated universe is deliberately small (3 fields, values 0..3, two
+state variables) so that random policies collide on fields and state often
+enough to exercise the interesting composition cases: field-field tests,
+increment folding, context pruning, and race detection.
+
+Values are plain ints (no bools) to avoid Python's ``True == 1`` aliasing
+confusing store-equality checks.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+
+from repro.lang import ast
+from repro.lang.fields import FieldRegistry
+from repro.lang.packet import Packet
+from repro.lang.state import Store
+
+FIELDS = ("fa", "fb", "fc")
+VALUES = (0, 1, 2, 3)
+STATE_VARS = ("sA", "sB")
+
+
+def registry() -> FieldRegistry:
+    return FieldRegistry(extra_fields=FIELDS)
+
+
+def scalar_exprs():
+    return st.one_of(
+        st.sampled_from(VALUES).map(ast.Value),
+        st.sampled_from(FIELDS).map(ast.Field),
+    )
+
+
+def index_exprs():
+    return st.one_of(
+        scalar_exprs(),
+        st.tuples(scalar_exprs(), scalar_exprs()).map(lambda t: ast.Vector(list(t))),
+    )
+
+
+def field_tests():
+    return st.builds(ast.Test, st.sampled_from(FIELDS), st.sampled_from(VALUES))
+
+
+def state_tests():
+    return st.builds(
+        ast.StateTest,
+        st.sampled_from(STATE_VARS),
+        index_exprs(),
+        scalar_exprs(),
+    )
+
+
+def predicates(max_depth: int = 3):
+    base = st.one_of(
+        st.just(ast.Id()),
+        st.just(ast.Drop()),
+        field_tests(),
+        state_tests(),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.builds(ast.Not, children),
+            st.builds(ast.And, children, children),
+            st.builds(ast.Or, children, children),
+        )
+
+    return st.recursive(base, extend, max_leaves=max_depth * 2)
+
+
+def modifications():
+    return st.one_of(
+        st.builds(ast.Mod, st.sampled_from(FIELDS), st.sampled_from(VALUES)),
+        st.builds(
+            ast.StateMod,
+            st.sampled_from(STATE_VARS),
+            index_exprs(),
+            scalar_exprs(),
+        ),
+        st.builds(ast.StateIncr, st.sampled_from(STATE_VARS), index_exprs()),
+        st.builds(ast.StateDecr, st.sampled_from(STATE_VARS), index_exprs()),
+    )
+
+
+def policies(max_leaves: int = 6):
+    base = st.one_of(predicates(2), modifications())
+
+    def extend(children):
+        return st.one_of(
+            st.builds(ast.Seq, children, children),
+            st.builds(ast.Parallel, children, children),
+            st.builds(ast.If, predicates(2), children, children),
+            st.builds(ast.Atomic, children),
+        )
+
+    return st.recursive(base, extend, max_leaves=max_leaves)
+
+
+def packets():
+    return st.fixed_dictionaries(
+        {field: st.sampled_from(VALUES) for field in FIELDS}
+    ).map(Packet)
+
+
+def stores():
+    """A store with small random contents for both state variables."""
+
+    def build(entries):
+        store = Store({var: 0 for var in STATE_VARS})
+        for var, key, value in entries:
+            store.write(var, key, value)
+        return store
+
+    entry = st.tuples(
+        st.sampled_from(STATE_VARS),
+        st.one_of(
+            st.tuples(st.sampled_from(VALUES)),
+            st.tuples(st.sampled_from(VALUES), st.sampled_from(VALUES)),
+        ),
+        st.sampled_from(VALUES),
+    )
+    return st.lists(entry, max_size=4).map(build)

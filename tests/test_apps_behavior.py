@@ -1,0 +1,344 @@
+"""Behavioural tests: each Table 3 application does what its description
+says, exercised through the reference semantics (and spot-checked against
+the xFDD evaluator)."""
+
+import pytest
+
+from repro import apps
+from repro.lang import Store, make_packet
+from repro.lang.semantics import eval_policy
+from repro.lang.values import Symbol
+from repro.util.ipaddr import IPPrefix
+from repro.xfdd.build import build_xfdd
+from repro.xfdd.diagram import evaluate
+
+
+def ip(text):
+    return IPPrefix(text).network
+
+
+class AppDriver:
+    """Runs packets through a Program with both evaluators, checking they
+    agree, and exposes the evolving store."""
+
+    def __init__(self, program):
+        self.policy = program.full_policy()
+        self.xfdd = build_xfdd(self.policy, registry=program.registry)
+        self.store = Store(program.state_defaults)
+        self.mirror = Store(program.state_defaults)
+
+    def send(self, **fields):
+        packet = make_packet(**fields)
+        self.store, out, _ = eval_policy(self.policy, self.store, packet)
+        self.mirror, out2 = evaluate(self.xfdd, packet, self.mirror)
+        assert out == out2 and self.store == self.mirror
+        return out
+
+    def passed(self, **fields) -> bool:
+        return bool(self.send(**fields))
+
+    def state(self, var, *key):
+        return self.store.read(var, tuple(key))
+
+
+class TestDnsTunnelDetect:
+    def test_blacklists_after_threshold_unused_responses(self):
+        driver = AppDriver(apps.dns_tunnel_detect(threshold=3))
+        client = ip("10.0.6.10")
+        for k in range(3):
+            driver.send(
+                dstip=client, srcport=53, **{"dns.rdata": ip(f"10.0.1.{k + 1}")}
+            )
+        assert driver.state("blacklist", client) is True
+        assert driver.state("susp-client", client) == 3
+
+    def test_using_resolved_address_decrements(self):
+        driver = AppDriver(apps.dns_tunnel_detect(threshold=3))
+        client = ip("10.0.6.10")
+        server = ip("10.0.1.1")
+        driver.send(dstip=client, srcport=53, **{"dns.rdata": server})
+        assert driver.state("susp-client", client) == 1
+        driver.send(srcip=client, dstip=server, srcport=999)
+        assert driver.state("susp-client", client) == 0
+        assert driver.state("blacklist", client) is False
+
+
+class TestManyIpDomains:
+    def test_flags_ip_hosting_many_domains(self):
+        driver = AppDriver(apps.many_ip_domains(threshold=2))
+        shared_ip = ip("6.6.6.6")
+        driver.send(srcport=53, **{"dns.rdata": shared_ip, "dns.qname": "a.com"})
+        assert driver.state("mal-ip-list", shared_ip) is False
+        driver.send(srcport=53, **{"dns.rdata": shared_ip, "dns.qname": "b.com"})
+        assert driver.state("mal-ip-list", shared_ip) is True
+
+    def test_repeated_domain_not_double_counted(self):
+        driver = AppDriver(apps.many_ip_domains(threshold=2))
+        shared_ip = ip("6.6.6.6")
+        for _ in range(3):
+            driver.send(srcport=53, **{"dns.rdata": shared_ip, "dns.qname": "a.com"})
+        assert driver.state("mal-ip-list", shared_ip) is False
+
+
+class TestManyDomainIps:
+    def test_flags_domain_with_many_ips(self):
+        driver = AppDriver(apps.many_domain_ips(threshold=2))
+        driver.send(srcport=53, **{"dns.qname": "evil.com", "dns.rdata": ip("1.1.1.1")})
+        driver.send(srcport=53, **{"dns.qname": "evil.com", "dns.rdata": ip("2.2.2.2")})
+        assert driver.state("mal-domain-list", "evil.com") is True
+
+
+class TestDnsTtlChange:
+    def test_counts_ttl_changes(self):
+        driver = AppDriver(apps.dns_ttl_change())
+        rdata = ip("9.9.9.9")
+        driver.send(srcport=53, **{"dns.rdata": rdata, "dns.ttl": 60})
+        driver.send(srcport=53, **{"dns.rdata": rdata, "dns.ttl": 60})
+        assert driver.state("ttl-change", rdata) == 0
+        driver.send(srcport=53, **{"dns.rdata": rdata, "dns.ttl": 30})
+        assert driver.state("ttl-change", rdata) == 1
+        assert driver.state("last-ttl", rdata) == 30
+
+
+class TestSidejack:
+    SERVER = ip("10.0.6.80")
+
+    def test_session_bound_to_first_client(self):
+        driver = AppDriver(apps.sidejack_detect())
+        assert driver.passed(
+            dstip=self.SERVER, sid=42, srcip=ip("10.0.1.1"),
+            **{"http.user-agent": "firefox"},
+        )
+        # Same client, same agent: allowed.
+        assert driver.passed(
+            dstip=self.SERVER, sid=42, srcip=ip("10.0.1.1"),
+            **{"http.user-agent": "firefox"},
+        )
+        # Hijacker with a different address/agent: dropped.
+        assert not driver.passed(
+            dstip=self.SERVER, sid=42, srcip=ip("10.0.2.2"),
+            **{"http.user-agent": "curl"},
+        )
+
+    def test_no_session_id_ignored(self):
+        driver = AppDriver(apps.sidejack_detect())
+        assert driver.passed(dstip=self.SERVER, sid=0, srcip=ip("10.0.2.2"))
+
+
+class TestSpamDetect:
+    def test_new_mta_tracked_then_flagged(self):
+        driver = AppDriver(apps.spam_detect(threshold=3))
+        for _ in range(2):
+            driver.send(**{"smtp.MTA": "mail.example"})
+        assert driver.state("MTA-dir", "mail.example") == Symbol("Tracked")
+        driver.send(**{"smtp.MTA": "mail.example"})
+        assert driver.state("MTA-dir", "mail.example") == Symbol("Spammer")
+
+
+class TestStatefulFirewall:
+    INSIDE = ip("10.0.6.5")
+    OUTSIDE = ip("10.0.1.1")
+
+    def test_outside_initiation_blocked(self):
+        driver = AppDriver(apps.stateful_firewall())
+        assert not driver.passed(srcip=self.OUTSIDE, dstip=self.INSIDE)
+
+    def test_inside_opens_return_path(self):
+        driver = AppDriver(apps.stateful_firewall())
+        assert driver.passed(srcip=self.INSIDE, dstip=self.OUTSIDE)
+        assert driver.passed(srcip=self.OUTSIDE, dstip=self.INSIDE)
+
+    def test_unrelated_traffic_passes(self):
+        driver = AppDriver(apps.stateful_firewall())
+        assert driver.passed(srcip=ip("10.0.1.1"), dstip=ip("10.0.2.2"))
+
+
+class TestFtpMonitoring:
+    def test_data_channel_requires_announcement(self):
+        driver = AppDriver(apps.ftp_monitoring())
+        client, server = ip("10.0.1.1"), ip("10.0.2.2")
+        # Data packet without a control-channel announcement: dropped.
+        assert not driver.passed(
+            srcip=server, dstip=client, srcport=20, **{"ftp.PORT": 5050}
+        )
+        # Control-channel PORT announcement...
+        driver.send(srcip=client, dstip=server, dstport=21, **{"ftp.PORT": 5050})
+        # ... opens the data channel.
+        assert driver.passed(
+            srcip=server, dstip=client, srcport=20, **{"ftp.PORT": 5050}
+        )
+
+
+class TestHeavyHitter:
+    def test_flags_after_threshold_syns(self):
+        driver = AppDriver(apps.heavy_hitter_detect(threshold=3))
+        src = ip("10.0.1.1")
+        for _ in range(3):
+            driver.send(srcip=src, **{"tcp.flags": Symbol("SYN")})
+        assert driver.state("heavy-hitter", src) is True
+
+    def test_non_syn_not_counted(self):
+        driver = AppDriver(apps.heavy_hitter_detect(threshold=2))
+        src = ip("10.0.1.1")
+        driver.send(srcip=src, **{"tcp.flags": Symbol("ACK")})
+        assert driver.state("hh-counter", src) == 0
+
+    def test_block_composition_drops_flagged(self):
+        driver = AppDriver(apps.heavy_hitter_block(threshold=2))
+        src = ip("10.0.1.1")
+        assert driver.passed(srcip=src, **{"tcp.flags": Symbol("SYN")})
+        # Second SYN reaches the threshold; flagged and dropped.
+        assert not driver.passed(srcip=src, **{"tcp.flags": Symbol("SYN")})
+        assert not driver.passed(srcip=src, **{"tcp.flags": Symbol("ACK")})
+
+
+class TestSuperSpreader:
+    def test_fin_balances_syn(self):
+        driver = AppDriver(apps.super_spreader_detect(threshold=2))
+        src = ip("10.0.1.1")
+        driver.send(srcip=src, **{"tcp.flags": Symbol("SYN")})
+        driver.send(srcip=src, **{"tcp.flags": Symbol("FIN")})
+        driver.send(srcip=src, **{"tcp.flags": Symbol("SYN")})
+        assert driver.state("super-spreader", src) is False
+        driver.send(srcip=src, **{"tcp.flags": Symbol("SYN")})
+        assert driver.state("super-spreader", src) is True
+
+
+class TestSampling:
+    FLOW = dict(srcip=1, dstip=2, srcport=3, dstport=4, proto=6)
+
+    def test_small_flow_sampled_one_in_period(self):
+        driver = AppDriver(apps.sampling_by_flow_size(small_period=3))
+        results = [driver.passed(**self.FLOW) for _ in range(6)]
+        assert sum(results) == 2  # one in three packets passes
+
+    def test_flow_type_progression(self):
+        driver = AppDriver(apps.flow_size_detect())
+        key = (1, 2, 3, 4, 6)
+        driver.send(**self.FLOW)
+        assert driver.state("flow-type", *key) == Symbol("SMALL")
+        for _ in range(99):
+            driver.send(**self.FLOW)
+        assert driver.state("flow-type", *key) == Symbol("MEDIUM")
+
+
+class TestSelectivePacketDropping:
+    def test_b_frames_dropped_after_budget(self):
+        driver = AppDriver(apps.selective_packet_dropping(gop=2))
+        flow = dict(srcip=1, dstip=2, srcport=3, dstport=4)
+        driver.send(**flow, **{"mpeg.frame-type": Symbol("Iframe")})
+        assert driver.passed(**flow, **{"mpeg.frame-type": Symbol("Bframe")})
+        assert driver.passed(**flow, **{"mpeg.frame-type": Symbol("Bframe")})
+        # Budget exhausted: dependent frames dropped until the next I-frame.
+        assert not driver.passed(**flow, **{"mpeg.frame-type": Symbol("Bframe")})
+        driver.send(**flow, **{"mpeg.frame-type": Symbol("Iframe")})
+        assert driver.passed(**flow, **{"mpeg.frame-type": Symbol("Bframe")})
+
+
+class TestSynFlood:
+    def test_unacked_syns_flag_source(self):
+        driver = AppDriver(apps.syn_flood_detect(threshold=2))
+        src = ip("10.0.1.1")
+        driver.send(srcip=src, **{"tcp.flags": Symbol("SYN")})
+        driver.send(srcip=src, **{"tcp.flags": Symbol("SYN")})
+        assert driver.state("syn-flooder", src) is True
+
+
+class TestDnsAmplification:
+    def test_unsolicited_response_dropped(self):
+        driver = AppDriver(apps.dns_amplification_mitigation())
+        victim, resolver = ip("10.0.1.1"), ip("8.8.8.8")
+        assert not driver.passed(srcip=resolver, dstip=victim, srcport=53)
+        # After a real query, the response passes.
+        driver.send(srcip=victim, dstip=resolver, dstport=53)
+        assert driver.passed(srcip=resolver, dstip=victim, srcport=53)
+
+
+class TestUdpFlood:
+    def test_flooder_flagged_and_dropped(self):
+        driver = AppDriver(apps.udp_flood_mitigation(threshold=2))
+        src = ip("10.0.1.1")
+        assert driver.passed(srcip=src, proto=Symbol("UDP"))
+        assert not driver.passed(srcip=src, proto=Symbol("UDP"))  # hits threshold
+        assert driver.state("udp-flooder", src) is True
+        # Flagged sources short-circuit the counter afterwards.
+        assert driver.passed(srcip=src, proto=Symbol("UDP"))
+        assert driver.state("udp-counter", src) == 2
+
+
+class TestTcpStateMachine:
+    FWD = dict(srcip=1, dstip=2, srcport=10, dstport=20, proto=6)
+    REV = dict(srcip=2, dstip=1, srcport=20, dstport=10, proto=6)
+    KEY = (1, 2, 10, 20, 6)
+
+    def _flags(self, name):
+        return {"tcp.flags": Symbol(name)}
+
+    def test_three_way_handshake(self):
+        driver = AppDriver(apps.tcp_state_machine())
+        driver.send(**self.FWD, **self._flags("SYN"))
+        assert driver.state("tcp-state", *self.KEY) == Symbol("SYN-SENT")
+        driver.send(**self.REV, **self._flags("SYN-ACK"))
+        assert driver.state("tcp-state", *self.KEY) == Symbol("SYN-RECEIVED")
+        driver.send(**self.FWD, **self._flags("ACK"))
+        assert driver.state("tcp-state", *self.KEY) == Symbol("ESTABLISHED")
+
+    def test_teardown(self):
+        driver = AppDriver(apps.tcp_state_machine())
+        for packet, flag in (
+            (self.FWD, "SYN"), (self.REV, "SYN-ACK"), (self.FWD, "ACK"),
+            (self.FWD, "FIN"), (self.REV, "FIN-ACK"), (self.FWD, "ACK"),
+        ):
+            driver.send(**packet, **self._flags(flag))
+        assert driver.state("tcp-state", *self.KEY) == Symbol("CLOSED")
+
+    def test_rst_closes(self):
+        driver = AppDriver(apps.tcp_state_machine())
+        for packet, flag in (
+            (self.FWD, "SYN"), (self.REV, "SYN-ACK"), (self.FWD, "ACK"),
+            (self.REV, "RST"),
+        ):
+            driver.send(**packet, **self._flags(flag))
+        assert driver.state("tcp-state", *self.KEY) == Symbol("CLOSED")
+
+
+class TestSnortFlowbits:
+    def test_sets_kindle_bit_for_matching_traffic(self):
+        driver = AppDriver(apps.snort_flowbits(home_net="10.0.0.0/8"))
+        flow = dict(srcip=ip("10.0.1.1"), dstip=ip("93.0.0.1"),
+                    srcport=555, dstport=80, proto=6)
+        key = (flow["srcip"], flow["dstip"], 555, 80, 6)
+        driver.store.write("established", key, True)
+        driver.mirror.write("established", key, True)
+        driver.send(**flow, content="Kindle/3.0+")
+        assert driver.state("kindle", *key) is True
+
+    def test_requires_established(self):
+        driver = AppDriver(apps.snort_flowbits(home_net="10.0.0.0/8"))
+        flow = dict(srcip=ip("10.0.1.1"), dstip=ip("93.0.0.1"),
+                    srcport=555, dstport=80, proto=6)
+        out = driver.send(**flow, content="Kindle/3.0+")
+        assert not out
+
+
+class TestConnectionAffinity:
+    def test_established_goes_to_lb(self):
+        driver = AppDriver(apps.connection_affinity())
+        key = (1, 2, 10, 20, 6)
+        flow = dict(srcip=1, dstip=2, srcport=10, dstport=20, proto=6)
+        out = driver.send(**flow)
+        assert all(p.get("outport") is None for p in out)
+        driver.store.write("tcp-state", key, Symbol("ESTABLISHED"))
+        driver.mirror.write("tcp-state", key, Symbol("ESTABLISHED"))
+        out = driver.send(**flow)
+        assert any(p.get("outport") == 1 for p in out)
+
+
+class TestElephantFlows:
+    def test_small_flows_all_dropped_large_sampled(self):
+        driver = AppDriver(apps.elephant_flow_detect())
+        flow = dict(srcip=1, dstip=2, srcport=3, dstport=4, proto=6)
+        # flow-size-detect; sample-large: until the large-sampler fires,
+        # packets are dropped (sampled out).
+        results = [driver.passed(**flow) for _ in range(500)]
+        assert sum(results) == 1  # exactly the 500th packet sampled

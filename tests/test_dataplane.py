@@ -1,0 +1,218 @@
+"""Tests for the data plane: splitting, NetASM, rules, and the simulator."""
+
+import pytest
+
+from repro.analysis.dependency import analyze_dependencies
+from repro.analysis.packet_state import packet_state_mapping
+from repro.dataplane.header import DONE_TAG, ROOT_TAG, SNAP_NODE
+from repro.dataplane.netasm import compile_switch
+from repro.dataplane.network import Network
+from repro.dataplane.rules import build_rule_tables
+from repro.dataplane.split import NodeIndex, split_summary
+from repro.lang import ast
+from repro.lang.errors import DataPlaneError
+from repro.lang.packet import make_packet
+from repro.milp.placement import build_placement_model
+from repro.milp.results import RoutingPaths, extract_paths
+from repro.topology.graph import Topology
+from repro.topology.traffic import uniform_traffic_matrix
+from repro.xfdd.build import build_xfdd
+
+
+def line_topology(num=3, capacity=100.0):
+    topo = Topology("line")
+    for i in range(num):
+        topo.add_switch(f"s{i}")
+    for i in range(num - 1):
+        topo.add_link(f"s{i}", f"s{i+1}", capacity)
+    topo.attach_port(1, "s0")
+    topo.attach_port(2, f"s{num-1}")
+    topo.validate()
+    return topo
+
+
+def compile_case(policy, topo, ports=(1, 2)):
+    deps = analyze_dependencies(policy)
+    xfdd = build_xfdd(policy, state_rank=deps.state_rank)
+    mapping = packet_state_mapping(xfdd, list(ports), list(ports))
+    demands = uniform_traffic_matrix(ports, 10.0)
+    solution = build_placement_model(topo, demands, mapping, deps).solve()
+    routing = extract_paths(solution, topo, mapping, deps)
+    return xfdd, deps, mapping, demands, solution, routing
+
+
+SIMPLE = ast.Seq(
+    ast.If(
+        ast.StateTest("s", ast.Field("srcip"), ast.Value(True)),
+        ast.Id(),
+        ast.StateMod("s", ast.Field("srcip"), ast.Value(True)),
+    ),
+    ast.Mod("outport", 2),
+)
+
+
+class TestNodeIndex:
+    def test_tags_unique_and_stable(self):
+        xfdd = build_xfdd(SIMPLE)
+        index = NodeIndex(xfdd)
+        index2 = NodeIndex(xfdd)
+        assert len(index) == len(index2)
+        assert ROOT_TAG not in index._by_id  # reserved
+
+    def test_lookup_roundtrip(self):
+        xfdd = build_xfdd(SIMPLE)
+        index = NodeIndex(xfdd)
+        for tag in list(index._by_id):
+            assert index.lookup(tag) is not None
+
+    def test_unknown_tag_raises(self):
+        index = NodeIndex(build_xfdd(SIMPLE))
+        with pytest.raises(DataPlaneError):
+            index.lookup(99999)
+
+
+class TestSplitSummary:
+    def test_state_nodes_assigned_to_owner(self):
+        xfdd = build_xfdd(SIMPLE)
+        index = NodeIndex(xfdd)
+        owners = split_summary(xfdd, index, {"s": "s1"})
+        assert "s1" in owners and owners["s1"]
+
+
+class TestCompileSwitch:
+    def test_port_switch_has_root_entry(self):
+        xfdd = build_xfdd(SIMPLE)
+        index = NodeIndex(xfdd)
+        program = compile_switch("s0", xfdd, index, {"s": "s1"}, {"s": False}, True)
+        assert program.can_process(ROOT_TAG)
+
+    def test_non_port_switch_without_state_has_no_entries(self):
+        xfdd = build_xfdd(SIMPLE)
+        index = NodeIndex(xfdd)
+        program = compile_switch("s2", xfdd, index, {"s": "s1"}, {"s": False}, False)
+        assert not program.entries
+
+    def test_pause_at_remote_state(self):
+        xfdd = build_xfdd(SIMPLE)
+        index = NodeIndex(xfdd)
+        ingress = compile_switch("s0", xfdd, index, {"s": "s1"}, {"s": False}, True)
+        pkt = make_packet(srcip=1).modify(SNAP_NODE, ROOT_TAG)
+        outcomes = ingress.process(pkt)
+        assert len(outcomes) == 1
+        assert outcomes[0].kind == "pause"
+        assert outcomes[0].var == "s"
+        assert outcomes[0].packet.get(SNAP_NODE) != ROOT_TAG
+
+    def test_owner_resumes_and_emits(self):
+        xfdd = build_xfdd(SIMPLE)
+        index = NodeIndex(xfdd)
+        ingress = compile_switch("s0", xfdd, index, {"s": "s1"}, {"s": False}, True)
+        owner = compile_switch("s1", xfdd, index, {"s": "s1"}, {"s": False}, False)
+        pkt = make_packet(srcip=1).modify(SNAP_NODE, ROOT_TAG)
+        paused = ingress.process(pkt)[0].packet
+        outcomes = owner.process(paused)
+        assert [o.kind for o in outcomes] == ["emit"]
+        assert outcomes[0].packet.get("outport") == 2
+        assert owner.store.read("s", (1,)) is True
+
+    def test_local_state_processed_at_ingress(self):
+        xfdd = build_xfdd(SIMPLE)
+        index = NodeIndex(xfdd)
+        ingress = compile_switch("s0", xfdd, index, {"s": "s0"}, {"s": False}, True)
+        pkt = make_packet(srcip=1).modify(SNAP_NODE, ROOT_TAG)
+        outcomes = ingress.process(pkt)
+        assert [o.kind for o in outcomes] == ["emit"]
+
+    def test_to_text_listing(self):
+        xfdd = build_xfdd(SIMPLE)
+        index = NodeIndex(xfdd)
+        program = compile_switch("s0", xfdd, index, {"s": "s1"}, {"s": False}, True)
+        text = program.to_text()
+        assert "BRANCH" in text or "PAUSE" in text
+
+
+class TestRuleTables:
+    def test_next_hops(self):
+        routing = RoutingPaths({(1, 2): ("s0", "s1", "s2")}, {})
+        tables = build_rule_tables(routing)
+        assert tables.next_hop("s0", 1, 2) == "s1"
+        assert tables.next_hop("s1", 1, 2) == "s2"
+        assert tables.next_hop("s2", 1, 2) is None
+
+    def test_rule_counts(self):
+        routing = RoutingPaths(
+            {(1, 2): ("s0", "s1", "s2"), (2, 1): ("s2", "s1", "s0")}, {}
+        )
+        tables = build_rule_tables(routing)
+        assert tables.total_rules() == 4
+        assert tables.rule_counts()["s1"] == 2
+
+    def test_rules_for_repr(self):
+        routing = RoutingPaths({(1, 2): ("s0", "s1")}, {})
+        rules = build_rule_tables(routing).rules_for("s0")
+        assert "snap.inport=1" in repr(rules[0])
+
+
+class TestNetworkSequential:
+    def _network(self, policy=SIMPLE, num=3):
+        topo = line_topology(num)
+        xfdd, deps, mapping, demands, solution, routing = compile_case(policy, topo)
+        return Network(
+            topo, xfdd, solution.placement, routing, mapping, demands, {"s": False}
+        )
+
+    def test_first_packet_travels_and_writes(self):
+        net = self._network()
+        records = net.inject(make_packet(srcip=1), 1)
+        assert len(records) == 1
+        assert records[0].egress == 2
+        store = net.global_store()
+        assert store.read("s", (1,)) is True
+
+    def test_second_packet_sees_state(self):
+        net = self._network()
+        net.inject(make_packet(srcip=1), 1)
+        records = net.inject(make_packet(srcip=1), 1)
+        assert records[0].egress == 2
+
+    def test_snap_header_stripped_on_delivery(self):
+        net = self._network()
+        record = net.inject(make_packet(srcip=1), 1)[0]
+        assert record.packet.get(SNAP_NODE) is None
+
+    def test_link_counters(self):
+        net = self._network()
+        net.inject(make_packet(srcip=1), 1)
+        assert net.link_packets.get(("s0", "s1")) == 1
+
+    def test_dropping_policy(self):
+        policy = ast.Seq(
+            ast.StateIncr("s", ast.Field("srcip")),
+            ast.Drop(),
+        )
+        topo = line_topology(3)
+        xfdd, deps, mapping, demands, solution, routing = compile_case(policy, topo)
+        net = Network(
+            topo, xfdd, solution.placement, routing, mapping, demands, {"s": 0}
+        )
+        records = net.inject(make_packet(srcip=5), 1)
+        assert all(r.egress is None for r in records)
+        assert net.global_store().read("s", (5,)) == 1
+
+    def test_instruction_counts_reported(self):
+        net = self._network()
+        counts = net.instruction_counts()
+        assert set(counts) == {"s0", "s1", "s2"}
+
+
+class TestNetworkConcurrent:
+    def test_interleaved_injection_completes(self):
+        topo = line_topology(3)
+        xfdd, deps, mapping, demands, solution, routing = compile_case(SIMPLE, topo)
+        net = Network(
+            topo, xfdd, solution.placement, routing, mapping, demands, {"s": False}
+        )
+        batch = [(make_packet(srcip=i), 1) for i in range(5)]
+        records = net.inject_concurrent(batch)
+        assert len(records) == 5
+        assert all(r.egress == 2 for r in records)

@@ -1,0 +1,115 @@
+"""Tests for trie-structured leaf execution in the data plane.
+
+The leaf ``{p·q1, p·q2}`` (from ``p; (q1 + q2)``) must execute the shared
+prefix p exactly once — both in direct xFDD evaluation and in the compiled
+NetASM programs, including when the prefix pauses for a remote variable.
+"""
+
+from repro.analysis.dependency import analyze_dependencies
+from repro.analysis.packet_state import packet_state_mapping
+from repro.dataplane.header import ROOT_TAG, SNAP_NODE
+from repro.dataplane.netasm import IFork, IJump, compile_switch
+from repro.dataplane.network import Network
+from repro.dataplane.split import NodeIndex, leaf_groups
+from repro.lang import ast
+from repro.lang.packet import make_packet
+from repro.lang.state import Store
+from repro.milp.results import RoutingPaths
+from repro.topology.graph import Topology
+from repro.topology.traffic import uniform_traffic_matrix
+from repro.xfdd.build import build_xfdd
+from repro.xfdd.diagram import evaluate, iter_leaves
+
+
+def shared_prefix_policy():
+    """c[0]++; (outport <- 2 + (f <- 1; outport <- 2))."""
+    return ast.Seq(
+        ast.StateIncr("c", ast.Value(0)),
+        ast.Parallel(
+            ast.Mod("outport", 2),
+            ast.Seq(ast.Mod("f", 1), ast.Mod("outport", 2)),
+        ),
+    )
+
+
+class TestLeafGroups:
+    def test_shared_prefix_single_group(self):
+        xfdd = build_xfdd(shared_prefix_policy())
+        leaf = next(iter(iter_leaves(xfdd)))
+        groups = list(leaf_groups(leaf))
+        # The first group (the shared increment) contains both sequences.
+        roots = [g for g in groups if g[1] == 0]
+        assert len(roots) == 1
+        assert len(roots[0][0]) == 2
+
+    def test_divergence_splits_groups(self):
+        xfdd = build_xfdd(shared_prefix_policy())
+        leaf = next(iter(iter_leaves(xfdd)))
+        depth1 = [g for g in groups_at(leaf, 1)]
+        assert len(depth1) == 2
+
+
+def groups_at(leaf, depth):
+    return [g for g in leaf_groups(leaf) if g[1] == depth]
+
+
+class TestEvaluateTrie:
+    def test_prefix_executes_once(self):
+        xfdd = build_xfdd(shared_prefix_policy())
+        store, out = evaluate(xfdd, make_packet(), Store({"c": 0}))
+        assert store.read("c", (0,)) == 1  # not 2!
+        # Two copies diverge on field f.
+        assert {p.get("f") for p in out} == {None, 1}
+
+    def test_fork_after_shared_pause(self):
+        """When the shared prefix's state write is remote, the packet
+        pauses once, resumes at the owner, and only then forks."""
+        policy = shared_prefix_policy()
+        topo = Topology("line")
+        for name in ("a", "b", "c"):
+            topo.add_switch(name)
+        topo.add_link("a", "b", 100.0)
+        topo.add_link("b", "c", 100.0)
+        topo.attach_port(1, "a")
+        topo.attach_port(2, "c")
+        deps = analyze_dependencies(policy)
+        xfdd = build_xfdd(policy, state_rank=deps.state_rank)
+        mapping = packet_state_mapping(xfdd, (1, 2), (1, 2))
+        routing = RoutingPaths(
+            {(1, 2): ("a", "b", "c"), (2, 1): ("c", "b", "a")}, {"c": "b"}
+        )
+        net = Network(topo, xfdd, {"c": "b"}, routing, mapping,
+                      uniform_traffic_matrix((1, 2), 1.0), {"c": 0})
+        records = net.inject(make_packet(), 1)
+        delivered = [r for r in records if r.egress == 2]
+        assert len(delivered) == 2  # the two parallel copies
+        assert net.global_store().read("c", (0,)) == 1  # prefix ran once
+
+
+class TestNetAsmStructure:
+    def test_fork_and_jump_instructions_present(self):
+        xfdd = build_xfdd(shared_prefix_policy())
+        index = NodeIndex(xfdd)
+        program = compile_switch("sw", xfdd, index, {"c": "sw"}, {"c": 0}, True)
+        kinds = {type(instr).__name__ for instr in program.instructions}
+        assert "IFork" in kinds
+        assert "IJump" in kinds
+
+    def test_listing_shows_entries(self):
+        xfdd = build_xfdd(shared_prefix_policy())
+        index = NodeIndex(xfdd)
+        program = compile_switch("sw", xfdd, index, {"c": "sw"}, {"c": 0}, True)
+        text = program.to_text()
+        assert "NetASM program for switch sw" in text
+        assert "STDELTA" in text
+
+    def test_jump_targets_valid(self):
+        xfdd = build_xfdd(shared_prefix_policy())
+        index = NodeIndex(xfdd)
+        program = compile_switch("sw", xfdd, index, {"c": "sw"}, {"c": 0}, True)
+        for instr in program.instructions:
+            if isinstance(instr, IJump):
+                assert 0 <= instr.target < len(program.instructions)
+            if isinstance(instr, IFork):
+                for target in instr.targets:
+                    assert 0 <= target < len(program.instructions)

@@ -1,0 +1,115 @@
+"""Tests for incremental MILP updates (§6.2.2)."""
+
+import pytest
+
+from repro.core.pipeline import Compiler
+from repro.lang.errors import PlacementError
+from repro.milp.placement import build_placement_model
+from repro.milp.te import build_te_model
+from repro.milp.results import extract_paths, validate_solution
+from repro.topology.campus import campus_topology
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+from workloads import dns_tunnel_program  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    compiler = Compiler(campus_topology(), dns_tunnel_program(6))
+    cold = compiler.cold_start()
+    return compiler, cold
+
+
+class TestIncrementalFailure:
+    def test_failed_link_avoided(self, compiled):
+        compiler, cold = compiled
+        assert cold.routing.path(1, 6) == ("I1", "C1", "C5", "D4")
+        result = compiler.topology_change(failed_links=[("C1", "C5")])
+        path = result.routing.path(1, 6)
+        assert ("C1", "C5") not in set(zip(path, path[1:]))
+        assert result.placement == cold.placement
+
+    def test_restore_after_failure(self, compiled):
+        compiler, _ = compiled
+        compiler.topology_change(failed_links=[("C1", "C5")])
+        result = compiler.topology_change(failed_links=[])
+        # The optimal path through C1-C5 is available again.
+        assert result.routing.path(1, 6) == ("I1", "C1", "C5", "D4")
+
+    def test_sequential_failures(self, compiled):
+        compiler, _ = compiled
+        result = compiler.topology_change(
+            failed_links=[("C1", "C5"), ("C3", "C5")]
+        )
+        path = result.routing.path(1, 6)
+        used = set(zip(path, path[1:]))
+        assert ("C1", "C5") not in used and ("C3", "C5") not in used
+        # I1 hangs off C1, so the path must still start I1 -> C1.
+        assert path[0] == "I1" and path[1] == "C1"
+        compiler.topology_change(failed_links=[])  # restore for other tests
+
+    def test_disconnecting_failures_are_infeasible(self, compiled):
+        # C1's only non-edge neighbours are C3 and C5; failing both cuts
+        # ports 1 and 3 off from the rest of the network.
+        compiler, _ = compiled
+        with pytest.raises(PlacementError):
+            compiler.topology_change(failed_links=[("C1", "C5"), ("C1", "C3")])
+        compiler.topology_change(failed_links=[])  # restore
+
+    def test_incremental_matches_full_rebuild(self, compiled):
+        compiler, cold = compiled
+        incremental = compiler.topology_change(failed_links=[("C1", "C5")])
+        rebuilt = compiler.topology_change(
+            new_topology=campus_topology().without_link("C1", "C5")
+        )
+        assert incremental.objective == pytest.approx(rebuilt.objective, rel=1e-6)
+        compiler.topology_change(new_topology=campus_topology())
+
+
+class TestIncrementalDemands:
+    def test_demand_shift_changes_objective(self, compiled):
+        compiler, cold = compiled
+        base = compiler.topology_change(failed_links=[])
+        shifted = dict(compiler.demands)
+        for u in range(1, 6):
+            shifted[(u, 6)] = shifted[(u, 6)] * 4
+        result = compiler.topology_change(new_demands=shifted)
+        assert result.objective > base.objective
+
+    def test_new_flow_set_rejected(self, compiled):
+        compiler, cold = compiled
+        compiler.topology_change(failed_links=[])  # ensure standing model
+        bad = dict(compiler.demands)
+        bad.pop(sorted(bad)[0])
+        with pytest.raises(PlacementError):
+            compiler._te_model.set_demands(bad)
+
+
+class TestModelPatchingDirect:
+    def test_fail_and_restore_roundtrip(self, compiled):
+        compiler, cold = compiled
+        model = build_te_model(
+            campus_topology(), compiler.demands, cold.mapping,
+            cold.dependencies, cold.placement,
+        )
+        before = model.solve().objective
+        model.fail_link("C1", "C5")
+        degraded = model.solve().objective
+        assert degraded >= before - 1e-9
+        model.restore_link("C1", "C5")
+        assert model.solve().objective == pytest.approx(before, rel=1e-6)
+
+    def test_patched_solution_validates(self, compiled):
+        compiler, cold = compiled
+        model = build_te_model(
+            campus_topology(), compiler.demands, cold.mapping,
+            cold.dependencies, cold.placement,
+        )
+        model.fail_link("C1", "C5")
+        solution = model.solve()
+        degraded = campus_topology().without_link("C1", "C5")
+        routing = extract_paths(solution, degraded, cold.mapping, cold.dependencies)
+        validate_solution(routing, degraded, cold.mapping, cold.dependencies)

@@ -1,0 +1,134 @@
+"""Integration soak test: the full campus deployment under random traffic.
+
+Compiles DNS-tunnel-detect; assign-egress onto the campus, then streams a
+few hundred randomized packets (DNS responses, client connections, plain
+transit traffic) through the distributed data plane while mirroring every
+packet through the OBS reference semantics.  Outputs and final state must
+match exactly; also exercises TE re-optimization mid-stream and the
+compilation report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import Compiler
+from repro.core.program import Program
+from repro.core.report import compilation_report
+from repro.apps import assign_egress, default_subnets, dns_tunnel_detect, port_assumption
+from repro.lang import ast, make_packet
+from repro.lang.semantics import eval_policy
+from repro.lang.state import Store
+from repro.topology.campus import campus_topology
+from repro.util.ipaddr import IPPrefix
+
+
+def build_program():
+    subnets = default_subnets(6)
+    detect = dns_tunnel_detect(threshold=3)
+    return Program(
+        ast.Seq(detect.policy, assign_egress(subnets)),
+        assumption=port_assumption(subnets),
+        state_defaults=detect.state_defaults,
+        name="dns-tunnel+egress",
+    )
+
+
+def random_arrivals(rng, count):
+    subnets = {p: IPPrefix(f"10.0.{p}.0/24") for p in range(1, 7)}
+    arrivals = []
+    for _ in range(count):
+        src_port = int(rng.integers(1, 7))
+        dst_port = int(rng.integers(1, 7))
+        srcip = subnets[src_port].host(int(rng.integers(1, 50)))
+        dstip = subnets[dst_port].host(int(rng.integers(1, 50)))
+        kind = rng.random()
+        if kind < 0.4:
+            packet = make_packet(
+                srcip=srcip, dstip=dstip, srcport=53,
+                dstport=int(rng.integers(1024, 2048)),
+                **{"dns.rdata": subnets[int(rng.integers(1, 7))].host(
+                    int(rng.integers(1, 50)))},
+            )
+        else:
+            packet = make_packet(
+                srcip=srcip, dstip=dstip,
+                srcport=int(rng.integers(1024, 2048)),
+                dstport=int(rng.integers(1, 1024)),
+            )
+        arrivals.append((packet, src_port))
+    return arrivals
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_soak_distributed_equals_obs(seed):
+    program = build_program()
+    compiler = Compiler(campus_topology(), program)
+    result = compiler.cold_start()
+    network = result.build_network()
+    policy = program.full_policy()
+    ref_store = Store(program.state_defaults)
+    rng = np.random.default_rng(seed)
+    for packet, port in random_arrivals(rng, 250):
+        tagged = packet.modify("inport", port)
+        ref_store, ref_out, _ = eval_policy(policy, ref_store, tagged)
+        records = network.inject(packet, port)
+        delivered = frozenset(
+            r.packet.without("inport") for r in records if r.egress is not None
+        )
+        expected = frozenset(p.without("inport") for p in ref_out)
+        assert delivered == expected
+    assert network.global_store() == ref_store
+
+
+def test_soak_survives_te_reroute():
+    """Re-optimize routing mid-stream; state stays put and consistent."""
+    program = build_program()
+    topology = campus_topology()
+    compiler = Compiler(topology, program)
+    result = compiler.cold_start()
+    network = result.build_network()
+    policy = program.full_policy()
+    ref_store = Store(program.state_defaults)
+    rng = np.random.default_rng(42)
+
+    def drive(net, count, store):
+        for packet, port in random_arrivals(rng, count):
+            tagged = packet.modify("inport", port)
+            store, ref_out, _ = eval_policy(policy, store, tagged)
+            records = net.inject(packet, port)
+            delivered = frozenset(
+                r.packet.without("inport") for r in records if r.egress is not None
+            )
+            assert delivered == frozenset(p.without("inport") for p in ref_out)
+        return store
+
+    ref_store = drive(network, 100, ref_store)
+    saved_state = {
+        name: dict(network.switches[sw].store.variable(name).items())
+        for name, sw in result.placement.items()
+        for sw in [result.placement[name]]
+    }
+
+    degraded = topology.without_link("C1", "C5")
+    rerouted = compiler.topology_change(new_topology=degraded)
+    assert rerouted.placement == result.placement
+    network2 = rerouted.build_network()
+    # Carry the state over (placement unchanged, so per-switch state maps 1:1).
+    for name, owner in rerouted.placement.items():
+        var = network2.switches[owner].store.variable(name)
+        for key, value in saved_state[name].items():
+            var.set(key, value)
+    ref_store = drive(network2, 100, ref_store)
+    assert network2.global_store() == ref_store
+
+
+def test_report_renders():
+    program = build_program()
+    compiler = Compiler(campus_topology(), program)
+    result = compiler.cold_start()
+    network = result.build_network()
+    text = compilation_report(result, network)
+    assert "state placement:" in text
+    assert "D4" in text
+    assert "routing rules" in text
+    assert "P5" in text

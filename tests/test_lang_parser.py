@@ -1,0 +1,195 @@
+"""Unit tests for the concrete-syntax parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse, parse_predicate
+from repro.lang.values import Symbol
+from repro.util.ipaddr import IPPrefix
+
+
+class TestPrimitives:
+    def test_id(self):
+        assert parse("id") == ast.Id()
+
+    def test_drop(self):
+        assert parse("drop") == ast.Drop()
+
+    def test_field_test_int(self):
+        assert parse("srcport = 53") == ast.Test("srcport", 53)
+
+    def test_field_test_prefix(self):
+        parsed = parse("dstip = 10.0.6.0/24")
+        assert parsed == ast.Test("dstip", IPPrefix("10.0.6.0/24"))
+
+    def test_host_ip_becomes_int(self):
+        parsed = parse("dstip = 10.0.6.1")
+        assert parsed == ast.Test("dstip", IPPrefix("10.0.6.1").network)
+
+    def test_field_test_symbol(self):
+        parsed = parse("tcp.flags = SYN")
+        assert parsed == ast.Test("tcp.flags", Symbol("SYN"))
+
+    def test_field_test_string(self):
+        parsed = parse('content = "Kindle/3.0+"')
+        assert parsed == ast.Test("content", "Kindle/3.0+")
+
+    def test_field_mod(self):
+        assert parse("outport <- 6") == ast.Mod("outport", 6)
+
+    def test_case_insensitive_fields(self):
+        assert parse("DNS.rdata = 5") == ast.Test("dns.rdata", 5)
+
+
+class TestStateOperations:
+    def test_state_test(self):
+        parsed = parse("orphan[srcip][dstip] = True")
+        assert parsed == ast.StateTest(
+            "orphan", ast.Vector([ast.Field("srcip"), ast.Field("dstip")]), True
+        )
+
+    def test_state_test_boolean_sugar(self):
+        assert parse("orphan[srcip][dstip]") == parse("orphan[srcip][dstip] = True")
+
+    def test_state_mod(self):
+        parsed = parse("blacklist[dstip] <- True")
+        assert parsed == ast.StateMod("blacklist", ast.Field("dstip"), True)
+
+    def test_state_mod_field_value(self):
+        parsed = parse("hon-ip[inport] <- srcip")
+        assert parsed == ast.StateMod(
+            "hon-ip", ast.Field("inport"), ast.Field("srcip")
+        )
+
+    def test_increment(self):
+        assert parse("susp-client[dstip]++") == ast.StateIncr(
+            "susp-client", ast.Field("dstip")
+        )
+
+    def test_decrement(self):
+        assert parse("susp-client[srcip]--") == ast.StateDecr(
+            "susp-client", ast.Field("srcip")
+        )
+
+    def test_increment_without_index_rejected(self):
+        with pytest.raises(ParseError):
+            parse("counter++")
+
+    def test_hyphenated_state_names(self):
+        parsed = parse("MTA-dir[smtp.MTA] = Unknown")
+        assert isinstance(parsed, ast.StateTest)
+        assert parsed.var == "MTA-dir"
+
+
+class TestComposition:
+    def test_seq_binds_tighter_than_par(self):
+        parsed = parse("id; drop + id")
+        assert isinstance(parsed, ast.Parallel)
+        assert isinstance(parsed.left, ast.Seq)
+
+    def test_parens_override(self):
+        parsed = parse("id; (drop + id)")
+        assert isinstance(parsed, ast.Seq)
+        assert isinstance(parsed.right, ast.Parallel)
+
+    def test_conjunction(self):
+        parsed = parse("dstip = 10.0.6.0/24 & srcport = 53")
+        assert isinstance(parsed, ast.And)
+
+    def test_disjunction(self):
+        parsed = parse("srcport = 53 | dstport = 53")
+        assert isinstance(parsed, ast.Or)
+
+    def test_negation_bang(self):
+        assert parse("!heavy-hitter[srcip]") == ast.Not(
+            ast.StateTest("heavy-hitter", ast.Field("srcip"), True)
+        )
+
+    def test_negation_unicode(self):
+        assert parse("¬heavy-hitter[srcip]") == parse("!heavy-hitter[srcip]")
+
+    def test_negation_keyword(self):
+        assert parse("not heavy-hitter[srcip]") == parse("!heavy-hitter[srcip]")
+
+    def test_and_tighter_than_or(self):
+        parsed = parse("srcport = 1 | srcport = 2 & dstport = 3")
+        assert isinstance(parsed, ast.Or)
+        assert isinstance(parsed.right, ast.And)
+
+    def test_atomic(self):
+        parsed = parse("atomic(s[srcip] <- True; t[srcip] <- False)")
+        assert isinstance(parsed, ast.Atomic)
+        assert isinstance(parsed.body, ast.Seq)
+
+
+class TestConditional:
+    def test_basic(self):
+        parsed = parse("if srcport = 53 then id else drop")
+        assert parsed == ast.If(ast.Test("srcport", 53), ast.Id(), ast.Drop())
+
+    def test_then_branch_takes_sequence(self):
+        parsed = parse("if srcport = 53 then s[srcip] <- 1; t[srcip] <- 2 else id")
+        assert isinstance(parsed.then, ast.Seq)
+
+    def test_else_binds_single_statement(self):
+        parsed = parse("if srcport = 1 then id else id; drop")
+        # '; drop' continues the outer sequence, not the else branch.
+        assert isinstance(parsed, ast.Seq)
+        assert isinstance(parsed.left, ast.If)
+
+    def test_nested_else_if(self):
+        parsed = parse(
+            "if srcport = 1 then id else if srcport = 2 then id else drop"
+        )
+        assert isinstance(parsed.orelse, ast.If)
+
+    def test_missing_else_rejected(self):
+        with pytest.raises(ParseError):
+            parse("if srcport = 53 then id")
+
+
+class TestResolution:
+    def test_params(self):
+        parsed = parse("s[srcip] = threshold", params={"threshold": 7})
+        assert parsed == ast.StateTest("s", ast.Field("srcip"), 7)
+
+    def test_definitions(self):
+        inner = ast.Mod("outport", 2)
+        parsed = parse("id; lb", definitions={"lb": inner})
+        assert parsed == ast.Seq(ast.Id(), inner)
+
+    def test_unknown_bare_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse("no-such-policy")
+
+    def test_unknown_field_in_mod_rejected(self):
+        with pytest.raises(ParseError):
+            parse("nonfield <- 3")
+
+    def test_field_field_test_rejected(self):
+        with pytest.raises(ParseError):
+            parse("srcip = dstip")
+
+    def test_comments(self):
+        parsed = parse("id # trailing comment\n; drop // another")
+        assert parsed == ast.Seq(ast.Id(), ast.Drop())
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as err:
+            parse("id;\n  @bad")
+        assert "line 2" in str(err.value)
+
+
+class TestParsePredicate:
+    def test_accepts_predicate(self):
+        pred = parse_predicate("srcip = 10.0.1.0/24 & inport = 1")
+        assert isinstance(pred, ast.And)
+
+    def test_plus_over_predicates_becomes_or(self):
+        pred = parse_predicate("(inport = 1) + (inport = 2)")
+        assert isinstance(pred, ast.Or)
+
+    def test_rejects_effects(self):
+        with pytest.raises(ParseError):
+            parse_predicate("outport <- 1")

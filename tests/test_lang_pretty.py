@@ -1,0 +1,83 @@
+"""Unit tests for the pretty-printer (concrete-syntax output)."""
+
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.lang.values import Symbol
+from repro.util.ipaddr import IPPrefix
+
+
+class TestAtoms:
+    def test_id_drop(self):
+        assert pretty(ast.Id()) == "id"
+        assert pretty(ast.Drop()) == "drop"
+
+    def test_test(self):
+        assert pretty(ast.Test("srcport", 53)) == "srcport = 53"
+
+    def test_prefix_value(self):
+        pred = ast.Test("dstip", IPPrefix("10.0.6.0/24"))
+        assert pretty(pred) == "dstip = 10.0.6.0/24"
+
+    def test_bool_value(self):
+        assert pretty(ast.Mod("f", True)) == "f <- True"
+
+    def test_symbol_value(self):
+        assert pretty(ast.Test("tcp.flags", Symbol("SYN"))) == "tcp.flags = SYN"
+
+    def test_string_value_quoted(self):
+        assert pretty(ast.Test("content", 'a"b')) == 'content = "a\\"b"'
+
+    def test_state_ops(self):
+        index = ast.Vector([ast.Field("srcip"), ast.Field("dstip")])
+        assert pretty(ast.StateMod("s", index, True)) == "s[srcip][dstip] <- True"
+        assert pretty(ast.StateIncr("c", ast.Field("srcip"))) == "c[srcip]++"
+        assert pretty(ast.StateDecr("c", ast.Field("srcip"))) == "c[srcip]--"
+
+
+class TestPrecedence:
+    def test_seq_inside_parallel(self):
+        policy = ast.Parallel(ast.Seq(ast.Id(), ast.Drop()), ast.Id())
+        assert parse(pretty(policy)) == policy
+
+    def test_parallel_inside_seq_parenthesized(self):
+        policy = ast.Seq(ast.Parallel(ast.Id(), ast.Drop()), ast.Id())
+        text = pretty(policy)
+        assert "(" in text
+        assert parse(text) == policy
+
+    def test_nested_negation(self):
+        pred = ast.Not(ast.Not(ast.Test("srcport", 1)))
+        assert parse(pretty(pred)) == pred
+
+    def test_or_of_ands(self):
+        pred = ast.Or(
+            ast.And(ast.Test("srcport", 1), ast.Test("dstport", 2)),
+            ast.Test("srcport", 3),
+        )
+        assert parse(pretty(pred)) == pred
+
+    def test_and_of_ors_parenthesized(self):
+        pred = ast.And(
+            ast.Or(ast.Test("srcport", 1), ast.Test("srcport", 2)),
+            ast.Test("dstport", 3),
+        )
+        text = pretty(pred)
+        assert parse(text) == pred
+
+    def test_if_branches(self):
+        policy = ast.If(
+            ast.Test("srcport", 53),
+            ast.Seq(ast.Mod("outport", 1), ast.Mod("outport", 2)),
+            ast.Drop(),
+        )
+        assert parse(pretty(policy)) == policy
+
+    def test_atomic(self):
+        policy = ast.Atomic(ast.Seq(ast.Id(), ast.Drop()))
+        text = pretty(policy)
+        assert text.startswith("atomic(")
+        assert parse(text) == policy
+
+    def test_repr_uses_pretty(self):
+        assert "srcport = 53" in repr(ast.Test("srcport", 53))

@@ -1,0 +1,204 @@
+"""Unit tests for the reference semantics (Appendix A)."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import InconsistentStateError
+from repro.lang.packet import make_packet
+from repro.lang.semantics import Log, eval_policy, run, run_sequence
+from repro.lang.state import Store
+
+
+def evaluate(policy, packet, defaults=None):
+    store = Store(defaults or ast.infer_state_defaults(policy))
+    return eval_policy(policy, store, packet)
+
+
+class TestPredicates:
+    def test_id_passes(self):
+        pkt = make_packet(srcport=53)
+        _, out, log = evaluate(ast.Id(), pkt)
+        assert out == frozenset((pkt,))
+        assert log == Log()
+
+    def test_drop(self):
+        _, out, _ = evaluate(ast.Drop(), make_packet())
+        assert out == frozenset()
+
+    def test_test_pass_and_fail(self):
+        pkt = make_packet(srcport=53)
+        _, out, _ = evaluate(ast.Test("srcport", 53), pkt)
+        assert out
+        _, out, _ = evaluate(ast.Test("srcport", 80), pkt)
+        assert not out
+
+    def test_state_test_reads_log(self):
+        policy = ast.StateTest("s", ast.Field("srcip"), True)
+        _, out, log = evaluate(policy, make_packet(srcip=1))
+        assert not out  # default False != True
+        assert "s" in log.reads and not log.writes
+
+    def test_negation(self):
+        pkt = make_packet(srcport=53)
+        _, out, _ = evaluate(ast.Not(ast.Test("srcport", 80)), pkt)
+        assert out == frozenset((pkt,))
+
+    def test_conjunction_requires_both(self):
+        pkt = make_packet(srcport=53, dstport=80)
+        both = ast.And(ast.Test("srcport", 53), ast.Test("dstport", 80))
+        _, out, _ = evaluate(both, pkt)
+        assert out
+        wrong = ast.And(ast.Test("srcport", 53), ast.Test("dstport", 99))
+        _, out, _ = evaluate(wrong, pkt)
+        assert not out
+
+    def test_disjunction(self):
+        pkt = make_packet(srcport=53)
+        either = ast.Or(ast.Test("srcport", 99), ast.Test("srcport", 53))
+        _, out, _ = evaluate(either, pkt)
+        assert out
+
+
+class TestModifications:
+    def test_field_mod(self):
+        _, out, _ = evaluate(ast.Mod("outport", 6), make_packet())
+        assert next(iter(out)).get("outport") == 6
+
+    def test_state_mod_updates_store_and_logs(self):
+        policy = ast.StateMod("s", ast.Field("srcip"), ast.Field("dstip"))
+        store, out, log = evaluate(policy, make_packet(srcip=1, dstip=2))
+        assert store.read("s", (1,)) == 2
+        assert "s" in log.writes
+
+    def test_increment_decrement(self):
+        pkt = make_packet(srcip=1)
+        inc = ast.StateIncr("c", ast.Field("srcip"))
+        store, _, _ = evaluate(inc, pkt, {"c": 0})
+        assert store.read("c", (1,)) == 1
+        dec = ast.StateDecr("c", ast.Field("srcip"))
+        store, _, _ = eval_policy(dec, store, pkt)
+        assert store.read("c", (1,)) == 0
+
+    def test_input_store_not_mutated(self):
+        store = Store({"s": False})
+        policy = ast.StateMod("s", ast.Value(1), ast.Value(True))
+        new_store, _, _ = eval_policy(policy, store, make_packet())
+        assert store.read("s", (1,)) is False
+        assert new_store.read("s", (1,)) is True
+
+    def test_vector_index(self):
+        policy = ast.StateMod(
+            "s", ast.Vector([ast.Field("srcip"), ast.Field("dstip")]), ast.Value(7)
+        )
+        store, _, _ = evaluate(policy, make_packet(srcip=1, dstip=2))
+        assert store.read("s", (1, 2)) == 7
+
+
+class TestComposition:
+    def test_seq_threads_state(self):
+        policy = ast.Seq(
+            ast.StateMod("s", ast.Value(0), ast.Value(5)),
+            ast.StateTest("s", ast.Value(0), ast.Value(5)),
+        )
+        _, out, _ = evaluate(policy, make_packet())
+        assert out  # the test sees the write
+
+    def test_parallel_copies_packet(self):
+        policy = ast.Parallel(ast.Mod("outport", 1), ast.Mod("outport", 2))
+        _, out, _ = evaluate(policy, make_packet())
+        assert {p.get("outport") for p in out} == {1, 2}
+
+    def test_parallel_write_write_conflict(self):
+        policy = ast.Parallel(
+            ast.StateMod("s", ast.Value(0), ast.Value(1)),
+            ast.StateMod("s", ast.Value(0), ast.Value(2)),
+        )
+        with pytest.raises(InconsistentStateError):
+            evaluate(policy, make_packet())
+
+    def test_parallel_read_write_conflict(self):
+        policy = ast.Parallel(
+            ast.StateTest("s", ast.Value(0), ast.Value(1)),
+            ast.StateMod("s", ast.Value(0), ast.Value(2)),
+        )
+        with pytest.raises(InconsistentStateError):
+            evaluate(policy, make_packet())
+
+    def test_parallel_disjoint_states_ok(self):
+        policy = ast.Parallel(
+            ast.StateMod("s", ast.Value(0), ast.Value(1)),
+            ast.StateMod("t", ast.Value(0), ast.Value(2)),
+        )
+        store, out, _ = evaluate(policy, make_packet())
+        assert store.read("s", (0,)) == 1 and store.read("t", (0,)) == 2
+
+    def test_seq_conflicting_runs_raise(self):
+        # The paper's example: (f<-1 + f<-2); s[0]<-f is inconsistent.
+        policy = ast.Seq(
+            ast.Parallel(ast.Mod("f", 1), ast.Mod("f", 2)),
+            ast.StateMod("s", ast.Value(0), ast.Field("f")),
+        )
+        with pytest.raises(InconsistentStateError):
+            evaluate(policy, make_packet())
+
+    def test_seq_parallel_runs_without_state_ok(self):
+        # ... but p; q runs fine for q = g <- 3.
+        policy = ast.Seq(
+            ast.Parallel(ast.Mod("f", 1), ast.Mod("f", 2)),
+            ast.Mod("g", 3),
+        )
+        _, out, _ = evaluate(policy, make_packet())
+        assert {p.get("f") for p in out} == {1, 2}
+        assert all(p.get("g") == 3 for p in out)
+
+    def test_if_reads_and_writes_same_state_ok(self):
+        policy = ast.If(
+            ast.StateTest("s", ast.Value(0), ast.Value(0)),
+            ast.StateMod("s", ast.Value(0), ast.Value(1)),
+            ast.StateMod("s", ast.Value(0), ast.Value(0)),
+        )
+        store, _, _ = evaluate(policy, make_packet(), {"s": 0})
+        assert store.read("s", (0,)) == 1
+
+    def test_if_condition_log_propagates(self):
+        policy = ast.If(
+            ast.StateTest("s", ast.Value(0), ast.Value(0)),
+            ast.Id(),
+            ast.Id(),
+        )
+        _, _, log = evaluate(policy, make_packet(), {"s": 0})
+        assert "s" in log.reads
+
+    def test_atomic_transparent_for_single_packet(self):
+        policy = ast.Atomic(
+            ast.Seq(
+                ast.StateMod("a", ast.Value(0), ast.Value(1)),
+                ast.StateMod("b", ast.Value(0), ast.Value(2)),
+            )
+        )
+        store, _, _ = evaluate(policy, make_packet())
+        assert store.read("a", (0,)) == 1 and store.read("b", (0,)) == 2
+
+    def test_drop_keeps_prior_writes(self):
+        policy = ast.Seq(ast.StateIncr("c", ast.Value(0)), ast.Drop())
+        store, out, _ = evaluate(policy, make_packet(), {"c": 0})
+        assert not out
+        assert store.read("c", (0,)) == 1
+
+
+class TestRunHelpers:
+    def test_run_infers_defaults(self):
+        policy = ast.StateIncr("c", ast.Field("srcip"))
+        store, out = run(policy, make_packet(srcip=9))
+        assert store.read("c", (9,)) == 1
+
+    def test_run_sequence_threads_state(self):
+        policy = ast.Seq(
+            ast.StateIncr("c", ast.Field("srcip")),
+            ast.StateTest("c", ast.Field("srcip"), ast.Value(2)),
+        )
+        pkts = [make_packet(srcip=1), make_packet(srcip=1)]
+        store, outs = run_sequence(policy, pkts)
+        assert not outs[0]  # counter was 1 after increment
+        assert outs[1]  # counter reached 2
+        assert store.read("c", (1,)) == 2

@@ -1,0 +1,93 @@
+"""Unit tests for the value model (Symbols, matching, disjointness)."""
+
+from repro.lang.values import (
+    Symbol,
+    matches,
+    value_implies,
+    value_sort_key,
+    values_disjoint,
+)
+from repro.util.ipaddr import IPPrefix
+
+
+class TestSymbol:
+    def test_interned(self):
+        assert Symbol("SYN") is Symbol("SYN")
+
+    def test_equality(self):
+        assert Symbol("SYN") == Symbol("SYN")
+        assert Symbol("SYN") != Symbol("FIN")
+
+    def test_str(self):
+        assert str(Symbol("ESTABLISHED")) == "ESTABLISHED"
+
+    def test_not_equal_to_string(self):
+        assert Symbol("SYN") != "SYN"
+
+
+class TestMatches:
+    def test_plain_equality(self):
+        assert matches(53, 53)
+        assert not matches(53, 80)
+
+    def test_prefix_contains_int(self):
+        p = IPPrefix("10.0.6.0/24")
+        assert matches(IPPrefix("10.0.6.7").network, p)
+        assert not matches(IPPrefix("10.0.7.7").network, p)
+
+    def test_prefix_vs_prefix(self):
+        assert matches(IPPrefix("10.0.6.0/25"), IPPrefix("10.0.6.0/24"))
+        assert not matches(IPPrefix("10.0.0.0/16"), IPPrefix("10.0.6.0/24"))
+
+    def test_bool_never_matches_prefix(self):
+        assert not matches(True, IPPrefix("0.0.0.0/0"))
+
+    def test_none_field(self):
+        assert not matches(None, 53)
+
+    def test_symbol_match(self):
+        assert matches(Symbol("SYN"), Symbol("SYN"))
+
+
+class TestValuesDisjoint:
+    def test_distinct_ints(self):
+        assert values_disjoint(1, 2)
+        assert not values_disjoint(1, 1)
+
+    def test_prefix_vs_contained_int(self):
+        p = IPPrefix("10.0.6.0/24")
+        assert not values_disjoint(p, IPPrefix("10.0.6.1").network)
+        assert values_disjoint(p, IPPrefix("10.0.7.1").network)
+
+    def test_disjoint_prefixes(self):
+        assert values_disjoint(IPPrefix("10.0.6.0/24"), IPPrefix("10.0.7.0/24"))
+        assert not values_disjoint(IPPrefix("10.0.0.0/16"), IPPrefix("10.0.6.0/24"))
+
+    def test_symbols(self):
+        assert values_disjoint(Symbol("SYN"), Symbol("FIN"))
+        assert not values_disjoint(Symbol("SYN"), Symbol("SYN"))
+
+
+class TestValueImplies:
+    def test_same_value(self):
+        assert value_implies(5, 5)
+
+    def test_int_in_prefix(self):
+        assert value_implies(IPPrefix("10.0.6.1").network, IPPrefix("10.0.6.0/24"))
+
+    def test_narrower_prefix(self):
+        assert value_implies(IPPrefix("10.0.6.0/25"), IPPrefix("10.0.6.0/24"))
+        assert not value_implies(IPPrefix("10.0.6.0/24"), IPPrefix("10.0.6.0/25"))
+
+    def test_unrelated(self):
+        assert not value_implies(5, 6)
+
+
+class TestValueSortKey:
+    def test_total_order_over_mixed_types(self):
+        values = [True, 3, IPPrefix("10.0.0.0/8"), "abc", Symbol("SYN"), (1, 2)]
+        ordered = sorted(values, key=value_sort_key)
+        assert len(ordered) == len(values)
+
+    def test_bools_before_ints(self):
+        assert value_sort_key(True) < value_sort_key(0)

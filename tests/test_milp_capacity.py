@@ -1,0 +1,82 @@
+"""Tests for the §7.3 resource-constraints extension (switch memory caps)."""
+
+import pytest
+
+from repro.analysis.dependency import analyze_dependencies
+from repro.analysis.packet_state import packet_state_mapping
+from repro.apps.routing import assign_egress, default_subnets, port_assumption
+from repro.lang import ast
+from repro.lang.errors import PlacementError
+from repro.milp.placement import build_placement_model
+from repro.topology.campus import campus_topology
+from repro.topology.traffic import uniform_traffic_matrix
+from repro.xfdd.build import build_xfdd
+from repro.apps.chimera import dns_tunnel_detect
+
+
+def campus_case():
+    subnets = default_subnets(6)
+    program = ast.Seq(
+        port_assumption(subnets),
+        ast.Seq(dns_tunnel_detect().policy, assign_egress(subnets)),
+    )
+    deps = analyze_dependencies(program)
+    xfdd = build_xfdd(program, state_rank=deps.state_rank)
+    mapping = packet_state_mapping(xfdd, range(1, 7), range(1, 7))
+    demands = uniform_traffic_matrix(range(1, 7), 1.0)
+    return campus_topology(), demands, mapping, deps
+
+
+class TestStateCapacity:
+    def test_unconstrained_colocates_on_d4(self):
+        topo, demands, mapping, deps = campus_case()
+        solution = build_placement_model(topo, demands, mapping, deps).solve()
+        assert set(solution.placement.values()) == {"D4"}
+
+    def test_capacity_one_spreads_state(self):
+        topo, demands, mapping, deps = campus_case()
+        solution = build_placement_model(
+            topo, demands, mapping, deps, state_capacity=1
+        ).solve()
+        switches = list(solution.placement.values())
+        # Three variables, at most one per switch -> three distinct switches.
+        assert len(set(switches)) == 3
+
+    def test_capacity_two(self):
+        topo, demands, mapping, deps = campus_case()
+        solution = build_placement_model(
+            topo, demands, mapping, deps, state_capacity=2
+        ).solve()
+        from collections import Counter
+
+        per_switch = Counter(solution.placement.values())
+        assert max(per_switch.values()) <= 2
+
+    def test_per_switch_dict_capacity(self):
+        topo, demands, mapping, deps = campus_case()
+        # D4 may hold nothing; everything must go elsewhere.
+        capacity = {n: 3 for n in topo.switches()}
+        capacity["D4"] = 0
+        solution = build_placement_model(
+            topo, demands, mapping, deps, state_capacity=capacity
+        ).solve()
+        assert "D4" not in set(solution.placement.values())
+
+    def test_capacity_still_respects_ordering(self):
+        from repro.milp.results import extract_paths, validate_solution
+
+        topo, demands, mapping, deps = campus_case()
+        solution = build_placement_model(
+            topo, demands, mapping, deps, state_capacity=1
+        ).solve()
+        routing = extract_paths(solution, topo, mapping, deps)
+        validate_solution(routing, topo, mapping, deps)
+
+    def test_infeasible_when_total_capacity_too_small(self):
+        topo, demands, mapping, deps = campus_case()
+        capacity = {n: 0 for n in topo.switches()}
+        model = build_placement_model(
+            topo, demands, mapping, deps, state_capacity=capacity
+        )
+        with pytest.raises(PlacementError):
+            model.solve()

@@ -1,0 +1,87 @@
+"""Property tests: the xFDD compiler preserves the Appendix A semantics.
+
+For random policies, packets, and stores, translating to an xFDD and
+evaluating must give exactly the same output packets and final state as
+the reference ``eval``.  This is the reproduction's central soundness
+property (the paper's compiler-correctness claim).
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+
+from repro.lang.errors import (
+    CompileError,
+    InconsistentStateError,
+    RaceConditionError,
+)
+from repro.lang.semantics import eval_policy
+from repro.xfdd.build import build_xfdd
+from repro.xfdd.diagram import evaluate
+
+from tests.strategies import packets, policies, registry, stores
+
+COMMON_SETTINGS = settings(
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+@COMMON_SETTINGS
+@given(policy=policies(), packet=packets(), store=stores())
+def test_xfdd_matches_eval(policy, packet, store):
+    try:
+        xfdd = build_xfdd(policy, registry=registry())
+    except (RaceConditionError, CompileError):
+        assume(False)
+        return
+    try:
+        ref_store, ref_out, _ = eval_policy(policy, store, packet)
+    except InconsistentStateError:
+        # Undefined by the semantics (e.g. identical parallel writes); the
+        # compiled form may legally implement any behaviour.
+        assume(False)
+        return
+    got_store, got_out = evaluate(xfdd, packet, store)
+    assert got_out == ref_out
+    assert got_store == ref_store
+
+
+@COMMON_SETTINGS
+@given(
+    policy=policies(),
+    packet_list=st.lists(packets(), min_size=1, max_size=4),
+    store=stores(),
+)
+def test_xfdd_matches_eval_over_sequences(policy, packet_list, store):
+    """State threads identically through a packet sequence."""
+    try:
+        xfdd = build_xfdd(policy, registry=registry())
+    except (RaceConditionError, CompileError):
+        assume(False)
+        return
+    ref_store = store
+    got_store = store
+    for packet in packet_list:
+        try:
+            ref_store, ref_out, _ = eval_policy(policy, ref_store, packet)
+        except InconsistentStateError:
+            assume(False)
+            return
+        got_store, got_out = evaluate(xfdd, packet, got_store)
+        assert got_out == ref_out
+        assert got_store == ref_store
+
+
+@COMMON_SETTINGS
+@given(policy=policies(max_leaves=4), packet=packets(), store=stores())
+def test_xfdd_idempotent_translation(policy, packet, store):
+    """Translating twice yields the identical (interned) diagram."""
+    try:
+        d1 = build_xfdd(policy, registry=registry())
+        d2 = build_xfdd(policy, registry=registry())
+    except (RaceConditionError, CompileError):
+        assume(False)
+        return
+    assert d1 is d2

@@ -1,0 +1,147 @@
+"""Property test: the distributed data plane implements the OBS semantics.
+
+Random stateful policies are compiled onto a small topology; random packet
+sequences are injected sequentially.  The union of per-switch state tables
+and the set of delivered packets must equal what the one-big-switch
+``eval`` produces.  This validates the entire pipeline: xFDD translation,
+placement, routing, per-switch NetASM splitting, SNAP-header steering, and
+Appendix D's candidate-egress trick.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, assume, given, settings
+
+from repro.analysis.dependency import analyze_dependencies
+from repro.analysis.packet_state import packet_state_mapping
+from repro.dataplane.network import Network
+from repro.lang import ast
+from repro.lang.errors import (
+    CompileError,
+    InconsistentStateError,
+    PlacementError,
+    RaceConditionError,
+)
+from repro.lang.semantics import eval_policy
+from repro.lang.state import Store
+from repro.milp.placement import build_placement_model
+from repro.milp.results import extract_paths, validate_solution
+from repro.topology.graph import Topology
+from repro.topology.traffic import uniform_traffic_matrix
+from repro.xfdd.build import build_xfdd
+from repro.xfdd.order import TestOrder
+from repro.xfdd.compose import Composer
+from repro.xfdd.build import to_xfdd
+
+from tests.strategies import FIELDS, STATE_VARS, VALUES, packets, registry
+
+PORTS = (1, 2, 3)
+
+
+def diamond_topology():
+    """Three ports around a 5-switch diamond — multiple path choices."""
+    topo = Topology("diamond")
+    for name in ("e1", "e2", "e3", "m1", "m2"):
+        topo.add_switch(name)
+    for a, b in (
+        ("e1", "m1"), ("e1", "m2"),
+        ("e2", "m1"), ("e2", "m2"),
+        ("e3", "m1"), ("e3", "m2"),
+        ("m1", "m2"),
+    ):
+        topo.add_link(a, b, 1000.0)
+    topo.attach_port(1, "e1")
+    topo.attach_port(2, "e2")
+    topo.attach_port(3, "e3")
+    topo.validate()
+    return topo
+
+
+def egress_policy():
+    """Route on field fa: 0 -> port 1, 1 -> port 2, else port 3."""
+    return ast.If(
+        ast.Test("fa", 0),
+        ast.Mod("outport", 1),
+        ast.If(ast.Test("fa", 1), ast.Mod("outport", 2), ast.Mod("outport", 3)),
+    )
+
+
+def stateful_bodies():
+    """Small stateful bodies that compose well with the egress policy."""
+    idx = st.sampled_from([ast.Field("fb"), ast.Value(0)])
+    var = st.sampled_from(STATE_VARS)
+    body = st.one_of(
+        st.builds(ast.StateIncr, var, idx),
+        st.builds(ast.StateMod, var, idx, st.sampled_from(VALUES).map(ast.Value)),
+        st.builds(
+            lambda v, i, val, wval: ast.If(
+                ast.StateTest(v, i, ast.Value(val)),
+                ast.StateMod(v, i, ast.Value(wval)),
+                ast.StateIncr(v, i),
+            ),
+            var, idx, st.sampled_from(VALUES), st.sampled_from(VALUES),
+        ),
+        st.builds(
+            lambda v, i, val: ast.If(
+                ast.StateTest(v, i, ast.Value(val)), ast.Drop(), ast.Id()
+            ),
+            var, idx, st.sampled_from(VALUES),
+        ),
+    )
+    return st.lists(body, min_size=1, max_size=2).map(ast.seq_all)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+@given(
+    body=stateful_bodies(),
+    arrivals=st.lists(
+        st.tuples(packets(), st.sampled_from(PORTS)), min_size=1, max_size=6
+    ),
+)
+def test_distributed_execution_matches_obs_eval(body, arrivals):
+    policy = ast.Seq(body, egress_policy())
+    reg = registry()
+    try:
+        deps = analyze_dependencies(policy)
+        order = TestOrder(reg, deps.state_rank)
+        xfdd = to_xfdd(policy, Composer(order))
+    except (RaceConditionError, CompileError):
+        assume(False)
+        return
+    topo = diamond_topology()
+    mapping = packet_state_mapping(xfdd, PORTS, PORTS)
+    demands = uniform_traffic_matrix(PORTS, 1.0)
+    try:
+        solution = build_placement_model(topo, demands, mapping, deps).solve()
+        routing = extract_paths(solution, topo, mapping, deps)
+        validate_solution(routing, topo, mapping, deps)
+    except PlacementError:
+        assume(False)
+        return
+    defaults = {var: 0 for var in STATE_VARS}
+    net = Network(topo, xfdd, solution.placement, routing, mapping, demands, defaults)
+
+    ref_store = Store(defaults)
+    for packet, port in arrivals:
+        tagged = packet.modify("inport", port)
+        try:
+            ref_store, ref_out, _ = eval_policy(policy, ref_store, tagged)
+        except InconsistentStateError:
+            assume(False)
+            return
+        records = net.inject(packet, port)
+        delivered = frozenset(
+            record.packet.without("inport")
+            for record in records
+            if record.egress is not None
+        )
+        expected = frozenset(p.without("inport") for p in ref_out)
+        assert delivered == expected
+        # Delivered egress ports match the packets' outport field.
+        for record in records:
+            if record.egress is not None:
+                assert record.packet.get("outport") == record.egress
+    assert net.global_store() == ref_store

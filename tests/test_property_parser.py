@@ -1,0 +1,20 @@
+"""Property test: pretty-printing then parsing is the identity."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+
+from tests.strategies import policies, registry
+
+
+@settings(
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(policy=policies(max_leaves=8))
+def test_pretty_parse_roundtrip(policy):
+    text = pretty(policy)
+    reparsed = parse(text, fields=registry())
+    assert reparsed == policy, f"round-trip failed for: {text}"

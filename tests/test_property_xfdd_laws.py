@@ -1,0 +1,138 @@
+"""Property tests: algebraic laws of the xFDD composition operators.
+
+These mirror the NetKAT-style equations the language satisfies; since
+diagrams are hash-consed, *semantic* laws are checked by evaluation and
+*structural* laws by identity.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, assume, given, settings
+
+from repro.lang.errors import CompileError, RaceConditionError
+from repro.xfdd.build import to_xfdd
+from repro.xfdd.compose import Composer
+from repro.xfdd.diagram import DROP, IDENTITY, evaluate, is_predicate_diagram
+from repro.xfdd.order import TestOrder as XFDDTestOrder
+
+from tests.strategies import packets, policies, predicates, registry, stores
+
+SETTINGS = settings(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def composer():
+    return Composer(XFDDTestOrder(registry(), {"sA": 0, "sB": 1}))
+
+
+def build(policy, comp):
+    try:
+        return to_xfdd(policy, comp)
+    except (RaceConditionError, CompileError):
+        return None
+
+
+def equivalent(d1, d2, packet, store):
+    s1, o1 = evaluate(d1, packet, store)
+    s2, o2 = evaluate(d2, packet, store)
+    return o1 == o2 and s1 == s2
+
+
+@SETTINGS
+@given(pred=predicates(), packet=packets(), store=stores())
+def test_negation_involution(pred, packet, store):
+    comp = composer()
+    d = build(pred, comp)
+    assume(d is not None)
+    assert comp.negate(comp.negate(d)) is d
+
+
+@SETTINGS
+@given(pred=predicates(), packet=packets(), store=stores())
+def test_excluded_middle(pred, packet, store):
+    """x ⊕ ¬x passes every packet; x ⊙ ¬x passes none."""
+    comp = composer()
+    d = build(pred, comp)
+    assume(d is not None)
+    union = comp.union(d, comp.negate(d))
+    _, out = evaluate(union, packet, store)
+    assert out == frozenset((packet,))
+    seq = comp.sequence(d, comp.negate(d))
+    _, out = evaluate(seq, packet, store)
+    assert out == frozenset()
+
+
+@SETTINGS
+@given(p=predicates(), q=predicates(), packet=packets(), store=stores())
+def test_union_commutative_on_predicates(p, q, packet, store):
+    comp = composer()
+    d1 = build(p, comp)
+    d2 = build(q, comp)
+    assume(d1 is not None and d2 is not None)
+    assert equivalent(
+        comp.union(d1, d2), comp.union(d2, d1), packet, store
+    )
+
+
+@SETTINGS
+@given(p=policies(max_leaves=4), packet=packets(), store=stores())
+def test_identity_laws(p, packet, store):
+    """id ⊙ d == d ⊙ id == d ; drop ⊙ d == drop (semantically)."""
+    comp = composer()
+    d = build(p, comp)
+    assume(d is not None)
+    try:
+        left = comp.sequence(IDENTITY, d)
+        right = comp.sequence(d, IDENTITY)
+    except (RaceConditionError, CompileError):
+        assume(False)
+        return
+    assert equivalent(left, d, packet, store)
+    assert equivalent(right, d, packet, store)
+    assert comp.sequence(DROP, d) is DROP
+
+
+@SETTINGS
+@given(p=predicates(), q=predicates(), packet=packets(), store=stores())
+def test_demorgan(p, q, packet, store):
+    """⊖(x ⊕ y) == ⊖x ⊙ ⊖y on predicate diagrams."""
+    comp = composer()
+    d1 = build(p, comp)
+    d2 = build(q, comp)
+    assume(d1 is not None and d2 is not None)
+    lhs = comp.negate(comp.union(d1, d2))
+    rhs = comp.sequence(comp.negate(d1), comp.negate(d2))
+    assert equivalent(lhs, rhs, packet, store)
+
+
+@SETTINGS
+@given(p=predicates())
+def test_predicate_diagrams_are_predicates(p):
+    comp = composer()
+    d = build(p, comp)
+    assume(d is not None)
+    assert is_predicate_diagram(d)
+
+
+@SETTINGS
+@given(
+    p=policies(max_leaves=3),
+    q=policies(max_leaves=3),
+    r=policies(max_leaves=3),
+    packet=packets(),
+    store=stores(),
+)
+def test_union_associative_semantically(p, q, r, packet, store):
+    comp = composer()
+    try:
+        d1 = to_xfdd(p, comp)
+        d2 = to_xfdd(q, comp)
+        d3 = to_xfdd(r, comp)
+        lhs = comp.union(comp.union(d1, d2), d3)
+        rhs = comp.union(d1, comp.union(d2, d3))
+    except (RaceConditionError, CompileError):
+        assume(False)
+        return
+    assert equivalent(lhs, rhs, packet, store)

@@ -1,0 +1,135 @@
+"""Network transactions (§2.1, §3 ``atomic``).
+
+The honeypot example: recording the source IP and dst port of the last
+packet per inport in two state variables.  If the variables live on
+different switches and two packets race, the variables can end up
+describing *different* packets.  ``atomic()`` forces co-location, making
+the update pair atomic per packet.
+"""
+
+from repro.analysis.dependency import analyze_dependencies
+from repro.analysis.packet_state import packet_state_mapping
+from repro.dataplane.network import Network
+from repro.lang import ast, parse
+from repro.lang.packet import make_packet
+from repro.milp.results import RoutingPaths
+from repro.topology.graph import Topology
+from repro.topology.traffic import uniform_traffic_matrix
+from repro.util.ipaddr import IPPrefix
+from repro.xfdd.build import build_xfdd
+
+HONEYPOT = IPPrefix("10.0.3.0/25")
+
+
+def honeypot_policy(atomic: bool) -> ast.Policy:
+    body = ast.Seq(
+        ast.StateMod("hon-ip", ast.Field("inport"), ast.Field("srcip")),
+        ast.StateMod("hon-dstport", ast.Field("inport"), ast.Field("dstport")),
+    )
+    if atomic:
+        body = ast.Atomic(body)
+    return ast.Seq(
+        ast.If(ast.Test("dstip", HONEYPOT), body, ast.Id()),
+        ast.Mod("outport", 2),
+    )
+
+
+def two_switch_topology():
+    topo = Topology("pair")
+    for name in ("a", "b", "c"):
+        topo.add_switch(name)
+    topo.add_link("a", "b", 100.0)
+    topo.add_link("b", "c", 100.0)
+    topo.attach_port(1, "a")
+    topo.attach_port(2, "c")
+    topo.validate()
+    return topo
+
+
+def build_network(policy, placement):
+    """Wire the honeypot policy with a hand-chosen placement."""
+    topo = two_switch_topology()
+    deps = analyze_dependencies(policy)
+    xfdd = build_xfdd(policy, state_rank=deps.state_rank)
+    mapping = packet_state_mapping(xfdd, (1, 2), (1, 2))
+    demands = uniform_traffic_matrix((1, 2), 1.0)
+    routing = RoutingPaths(
+        {(1, 2): ("a", "b", "c"), (2, 1): ("c", "b", "a")}, placement
+    )
+    return Network(topo, xfdd, placement, routing, mapping, demands, {})
+
+
+def honeypot_packets():
+    p1 = make_packet(srcip=111, dstip=HONEYPOT.host(1), dstport=1111)
+    p2 = make_packet(srcip=222, dstip=HONEYPOT.host(2), dstport=2222)
+    return p1, p2
+
+
+class TestAtomicDependencyAnalysis:
+    def test_atomic_ties_the_variables(self):
+        deps = analyze_dependencies(honeypot_policy(atomic=True))
+        assert frozenset(("hon-ip", "hon-dstport")) in deps.tied
+
+    def test_without_atomic_not_tied(self):
+        deps = analyze_dependencies(honeypot_policy(atomic=False))
+        assert not deps.tied
+
+    def test_milp_colocates_atomic_variables(self):
+        from repro.milp.placement import build_placement_model
+
+        policy = honeypot_policy(atomic=True)
+        topo = two_switch_topology()
+        deps = analyze_dependencies(policy)
+        xfdd = build_xfdd(policy, state_rank=deps.state_rank)
+        mapping = packet_state_mapping(xfdd, (1, 2), (1, 2))
+        demands = uniform_traffic_matrix((1, 2), 1.0)
+        solution = build_placement_model(topo, demands, mapping, deps).solve()
+        assert solution.placement["hon-ip"] == solution.placement["hon-dstport"]
+
+
+class TestInterleavingHazard:
+    def test_split_state_can_mix_packets(self):
+        """With the variables on different switches and packets reordered
+        in flight, hon-ip ends up describing one packet and hon-dstport
+        another — exactly the §2.1 race."""
+        net = build_network(
+            honeypot_policy(atomic=False), {"hon-ip": "a", "hon-dstport": "b"}
+        )
+        p1, p2 = honeypot_packets()
+        # p1 then p2 write hon-ip at switch a, but p2 overtakes p1 on the
+        # way to switch b, so the hon-dstport writes land reversed.
+        picks = iter([0, 0, 1, 0])
+        scheduler = lambda pending: next(picks, 0)
+        net.inject_concurrent([(p1, 1), (p2, 1)], scheduler=scheduler)
+        store = net.global_store()
+        ip_val = store.read("hon-ip", (1,))
+        port_val = store.read("hon-dstport", (1,))
+        assert (ip_val, port_val) == (222, 1111)  # mixed!
+
+    def test_colocated_state_stays_consistent(self):
+        """Co-located (as atomic() forces), each packet's two writes apply
+        back-to-back on one switch: the pair always describes one packet."""
+        net = build_network(
+            honeypot_policy(atomic=True), {"hon-ip": "b", "hon-dstport": "b"}
+        )
+        p1, p2 = honeypot_packets()
+        # Same adversarial schedule as the mixing test: with both writes on
+        # one switch they execute back-to-back and cannot interleave.
+        picks = iter([0, 0, 1, 0])
+        scheduler = lambda pending: next(picks, 0)
+        net.inject_concurrent([(p1, 1), (p2, 1)], scheduler=scheduler)
+        store = net.global_store()
+        pair = (store.read("hon-ip", (1,)), store.read("hon-dstport", (1,)))
+        assert pair in ((111, 1111), (222, 2222))
+
+    def test_sequential_injection_always_consistent(self):
+        """Without concurrency there is no hazard even when split."""
+        net = build_network(
+            honeypot_policy(atomic=False), {"hon-ip": "a", "hon-dstport": "b"}
+        )
+        p1, p2 = honeypot_packets()
+        net.inject(p1, 1)
+        net.inject(p2, 1)
+        store = net.global_store()
+        pair = (store.read("hon-ip", (1,)), store.read("hon-dstport", (1,)))
+        assert pair == (222, 2222)

@@ -1,0 +1,98 @@
+"""Unit tests for IPv4 prefix arithmetic."""
+
+import pytest
+
+from repro.util.ipaddr import IPPrefix, int_to_ip, ip_to_int, parse_prefix
+
+
+class TestIpToInt:
+    def test_zero(self):
+        assert ip_to_int("0.0.0.0") == 0
+
+    def test_loopback(self):
+        assert ip_to_int("127.0.0.1") == (127 << 24) + 1
+
+    def test_broadcast(self):
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+
+    def test_round_trip(self):
+        for text in ("10.0.6.0", "192.168.1.77", "8.8.8.8"):
+            assert int_to_ip(ip_to_int(text)) == text
+
+    def test_rejects_bad_octet(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0.256")
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0")
+
+    def test_int_to_ip_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+
+    def test_int_to_ip_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+
+
+class TestIPPrefix:
+    def test_parse_with_length(self):
+        p = IPPrefix("10.0.6.0/24")
+        assert p.length == 24
+        assert p.network == ip_to_int("10.0.6.0")
+
+    def test_parse_host(self):
+        p = IPPrefix("10.0.6.1")
+        assert p.length == 32
+        assert p.is_host
+
+    def test_network_is_masked(self):
+        p = IPPrefix("10.0.6.77/24")
+        assert p.network == ip_to_int("10.0.6.0")
+
+    def test_contains_address(self):
+        p = IPPrefix("10.0.6.0/24")
+        assert p.contains(ip_to_int("10.0.6.200"))
+        assert not p.contains(ip_to_int("10.0.7.1"))
+
+    def test_contains_prefix(self):
+        outer = IPPrefix("10.0.0.0/16")
+        inner = IPPrefix("10.0.6.0/24")
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_overlaps(self):
+        a = IPPrefix("10.0.0.0/16")
+        b = IPPrefix("10.0.6.0/24")
+        c = IPPrefix("10.1.0.0/16")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_zero_length_contains_everything(self):
+        assert IPPrefix("0.0.0.0/0").contains(ip_to_int("255.1.2.3"))
+
+    def test_host_helper(self):
+        p = IPPrefix("10.0.3.0/25")
+        assert p.host(1) == ip_to_int("10.0.3.1")
+        with pytest.raises(ValueError):
+            p.host(128)
+
+    def test_equality_and_hash(self):
+        assert IPPrefix("10.0.6.0/24") == IPPrefix("10.0.6.9/24")
+        assert hash(IPPrefix("10.0.6.0/24")) == hash(IPPrefix("10.0.6.9/24"))
+        assert IPPrefix("10.0.6.0/24") != IPPrefix("10.0.6.0/25")
+
+    def test_ordering(self):
+        assert IPPrefix("10.0.1.0/24") < IPPrefix("10.0.2.0/24")
+
+    def test_str(self):
+        assert str(IPPrefix("10.0.6.0/24")) == "10.0.6.0/24"
+        assert str(IPPrefix("10.0.6.1")) == "10.0.6.1"
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            IPPrefix("10.0.0.0/33")
+
+    def test_parse_prefix_cached(self):
+        assert parse_prefix("10.0.6.0/24") is parse_prefix("10.0.6.0/24")

@@ -1,0 +1,278 @@
+"""Unit tests for xFDD composition (⊕, ⊖, ⊙, restrict, Appendix E)."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import CompileError, RaceConditionError
+from repro.lang.packet import make_packet
+from repro.lang.state import Store
+from repro.util.ipaddr import IPPrefix
+from repro.xfdd.build import build_xfdd, to_xfdd
+from repro.xfdd.compose import Composer
+from repro.xfdd.diagram import DROP, IDENTITY, Branch, Leaf, evaluate, make_branch
+from repro.xfdd.order import trivial_order
+from repro.xfdd.tests import FieldFieldTest, FieldValueTest, StateVarTest
+
+
+@pytest.fixture
+def comp():
+    return Composer(trivial_order())
+
+
+def xf(source_policy, comp):
+    return to_xfdd(source_policy, comp)
+
+
+class TestNegate:
+    def test_identity_drop(self, comp):
+        assert comp.negate(IDENTITY) is DROP
+        assert comp.negate(DROP) is IDENTITY
+
+    def test_double_negation(self, comp):
+        d = xf(ast.Test("srcport", 53), comp)
+        assert comp.negate(comp.negate(d)) is d
+
+    def test_rejects_action_leaves(self, comp):
+        d = xf(ast.Mod("f", 1), comp)
+        with pytest.raises(CompileError):
+            comp.negate(d)
+
+
+class TestUnion:
+    def test_idempotent_on_predicates(self, comp):
+        d = xf(ast.Test("srcport", 53), comp)
+        assert comp.union(d, d) is d
+
+    def test_or_semantics(self, comp):
+        d = comp.union(
+            xf(ast.Test("srcport", 53), comp), xf(ast.Test("dstport", 80), comp)
+        )
+        store = Store()
+        _, out = evaluate(d, make_packet(srcport=53, dstport=1), store)
+        assert out
+        _, out = evaluate(d, make_packet(srcport=1, dstport=80), store)
+        assert out
+        _, out = evaluate(d, make_packet(srcport=1, dstport=1), store)
+        assert not out
+
+    def test_contradictory_tests_pruned(self, comp):
+        # (srcport=53 ? id : drop) ⊕ (srcport=53 ? drop : (srcport=80 ? id : drop))
+        a = xf(ast.Test("srcport", 53), comp)
+        b = xf(ast.And(ast.Not(ast.Test("srcport", 53)), ast.Test("srcport", 80)), comp)
+        d = comp.union(a, b)
+        # No path should test srcport=80 under srcport=53 = true.
+        def check(node, context):
+            if isinstance(node, Leaf):
+                return
+            if node.test == FieldValueTest("srcport", 80):
+                assert FieldValueTest("srcport", 53) not in context
+            check(node.hi, context | {node.test})
+            check(node.lo, context)
+        check(d, set())
+
+    def test_prefix_implication_pruned(self, comp):
+        # Inside dstip=10.0.6.0/24, the test dstip=10.0.7.1 is dead.
+        a = xf(ast.Test("dstip", IPPrefix("10.0.6.0/24")), comp)
+        b = xf(
+            ast.And(
+                ast.Test("dstip", IPPrefix("10.0.6.0/24")),
+                ast.Test("dstip", IPPrefix("10.0.7.1").network),
+            ),
+            comp,
+        )
+        d = comp.union(a, b)
+        store = Store()
+        _, out = evaluate(d, make_packet(dstip=IPPrefix("10.0.6.5").network), store)
+        assert out
+
+
+class TestSequence:
+    def test_filter_then_mod(self, comp):
+        d = comp.sequence(
+            xf(ast.Test("srcport", 53), comp), xf(ast.Mod("outport", 6), comp)
+        )
+        _, out = evaluate(d, make_packet(srcport=53), Store())
+        assert next(iter(out)).get("outport") == 6
+        _, out = evaluate(d, make_packet(srcport=9), Store())
+        assert not out
+
+    def test_mod_then_test_resolved_statically(self, comp):
+        # f <- 5 ; f = 5  must reduce to id (no test emitted).
+        d = comp.sequence(xf(ast.Mod("f", 5), comp), xf(ast.Test("f", 5), comp))
+        assert isinstance(d, Leaf)
+        _, out = evaluate(d, make_packet(f=1), Store())
+        assert next(iter(out)).get("f") == 5
+
+    def test_mod_then_failing_test(self, comp):
+        d = comp.sequence(xf(ast.Mod("f", 5), comp), xf(ast.Test("f", 6), comp))
+        _, out = evaluate(d, make_packet(f=6), Store())
+        assert not out  # f was overwritten to 5 before the test
+
+    def test_state_write_then_matching_test(self, comp):
+        # s[0] <- 1 ; s[0] = 1  -> test resolved true at compile time.
+        p = ast.Seq(
+            ast.StateMod("s", ast.Value(0), ast.Value(1)),
+            ast.StateTest("s", ast.Value(0), ast.Value(1)),
+        )
+        d = xf(p, comp)
+        assert isinstance(d, Leaf)
+
+    def test_state_write_then_mismatched_test(self, comp):
+        p = ast.Seq(
+            ast.StateMod("s", ast.Value(0), ast.Value(1)),
+            ast.StateTest("s", ast.Value(0), ast.Value(2)),
+        )
+        d = xf(p, comp)
+        # Write survives, packet dropped.
+        store, out = evaluate(d, make_packet(), Store())
+        assert not out
+        assert store.read("s", (0,)) == 1
+
+    def test_write_different_index_keeps_test(self, comp):
+        # s[1] <- 1 ; s[0] = 1: the write cannot satisfy the test.
+        p = ast.Seq(
+            ast.StateMod("s", ast.Value(1), ast.Value(1)),
+            ast.StateTest("s", ast.Value(0), ast.Value(1)),
+        )
+        d = xf(p, comp)
+        assert isinstance(d, Branch)
+        assert isinstance(d.test, StateVarTest)
+
+    def test_field_index_generates_field_field_test(self, comp):
+        # s[srcip] <- 1 ; s[dstip] = 1: equality srcip=dstip is unknown,
+        # so a field-field test must appear (§4.2's motivating case).
+        p = ast.Seq(
+            ast.StateMod("s", ast.Field("srcip"), ast.Value(1)),
+            ast.StateTest("s", ast.Field("dstip"), ast.Value(1)),
+        )
+        d = xf(p, comp)
+        assert isinstance(d, Branch)
+        assert isinstance(d.test, FieldFieldTest)
+        # Behavior: when srcip == dstip the test is satisfied by the write.
+        store, out = evaluate(d, make_packet(srcip=7, dstip=7), Store())
+        assert out
+        # When different, the pre-state (False default) decides: dropped.
+        store, out = evaluate(d, make_packet(srcip=7, dstip=8), Store())
+        assert not out
+
+    def test_increment_folds_into_test(self, comp):
+        # c[0]++ ; c[0] = 3  ==  test c[0] = 2 before the increment.
+        p = ast.Seq(
+            ast.StateIncr("c", ast.Value(0)),
+            ast.StateTest("c", ast.Value(0), ast.Value(3)),
+        )
+        d = xf(p, comp)
+        assert isinstance(d, Branch)
+        assert d.test == StateVarTest("c", ast.Value(0), ast.Value(2))
+
+    def test_increment_nonconstant_test_rejected(self, comp):
+        p = ast.Seq(
+            ast.StateIncr("c", ast.Value(0)),
+            ast.StateTest("c", ast.Value(0), ast.Field("srcport")),
+        )
+        with pytest.raises(CompileError):
+            xf(p, comp)
+
+    def test_write_then_increment_then_test(self, comp):
+        # c[0] <- 0 ; c[0]++ ; c[0] = 1  -> statically true.
+        p = ast.seq_all(
+            [
+                ast.StateMod("c", ast.Value(0), ast.Value(0)),
+                ast.StateIncr("c", ast.Value(0)),
+                ast.StateTest("c", ast.Value(0), ast.Value(1)),
+            ]
+        )
+        d = xf(p, comp)
+        assert isinstance(d, Leaf)
+        store, out = evaluate(d, make_packet(), Store({"c": 0}))
+        assert out and store.read("c", (0,)) == 1
+
+    def test_drop_short_circuits(self, comp):
+        d = comp.sequence(DROP, xf(ast.Mod("f", 1), comp))
+        assert d is DROP
+
+
+class TestRestrict:
+    def test_leaf_positive(self, comp):
+        t = FieldValueTest("f", 1)
+        d = comp.restrict(IDENTITY, t, True)
+        assert isinstance(d, Branch) and d.test == t
+        assert d.hi is IDENTITY and d.lo is DROP
+
+    def test_leaf_negative(self, comp):
+        t = FieldValueTest("f", 1)
+        d = comp.restrict(IDENTITY, t, False)
+        assert d.hi is DROP and d.lo is IDENTITY
+
+    def test_drop_unchanged(self, comp):
+        assert comp.restrict(DROP, FieldValueTest("f", 1), True) is DROP
+
+    def test_same_test_merges(self, comp):
+        t = FieldValueTest("f", 1)
+        inner = make_branch(t, IDENTITY, DROP)
+        d = comp.restrict(inner, t, True)
+        assert d.test == t and d.hi is IDENTITY and d.lo is DROP
+
+
+class TestRaceDetection:
+    def test_parallel_write_write(self, comp):
+        p = ast.Parallel(
+            ast.StateMod("s", ast.Value(0), ast.Value(1)),
+            ast.StateMod("s", ast.Value(0), ast.Value(2)),
+        )
+        with pytest.raises(RaceConditionError):
+            xf(p, comp)
+
+    def test_parallel_read_write(self, comp):
+        p = ast.Parallel(
+            ast.StateTest("s", ast.Value(0), ast.Value(1)),
+            ast.StateMod("s", ast.Value(0), ast.Value(2)),
+        )
+        with pytest.raises(RaceConditionError):
+            xf(p, comp)
+
+    def test_parallel_disjoint_ok(self, comp):
+        p = ast.Parallel(
+            ast.StateMod("s", ast.Value(0), ast.Value(1)),
+            ast.StateMod("t", ast.Value(0), ast.Value(2)),
+        )
+        d = xf(p, comp)
+        store, _ = evaluate(d, make_packet(), Store())
+        assert store.read("s", (0,)) == 1 and store.read("t", (0,)) == 2
+
+    def test_if_branches_may_share_state(self, comp):
+        # Explicit conditionals legally read and write the same variable.
+        p = ast.If(
+            ast.StateTest("s", ast.Value(0), ast.Value(1)),
+            ast.StateMod("s", ast.Value(0), ast.Value(2)),
+            ast.StateMod("s", ast.Value(0), ast.Value(3)),
+        )
+        d = xf(p, comp)
+        store, _ = evaluate(d, make_packet(), Store({"s": 0}))
+        assert store.read("s", (0,)) == 3
+
+    def test_guarded_parallel_writes_with_disjoint_guards_ok(self, comp):
+        # Parallel writes guarded by contradictory field tests never
+        # co-trigger; context pruning must accept this program.
+        p = ast.Parallel(
+            ast.If(ast.Test("srcport", 53),
+                   ast.StateMod("s", ast.Value(0), ast.Value(1)), ast.Id()),
+            ast.If(ast.Not(ast.Test("srcport", 53)),
+                   ast.StateMod("s", ast.Value(0), ast.Value(2)), ast.Id()),
+        )
+        d = xf(p, comp)
+        store, _ = evaluate(d, make_packet(srcport=53), Store())
+        assert store.read("s", (0,)) == 1
+
+    def test_figure1_style_read_then_write_ok(self, comp):
+        # Fig. 1 line 8: test orphan then write orphan sequentially.
+        p = ast.If(
+            ast.StateTest("orphan", ast.Field("srcip"), ast.Value(True)),
+            ast.StateMod("orphan", ast.Field("srcip"), ast.Value(False)),
+            ast.Id(),
+        )
+        d = xf(p, comp)
+        store = Store({"orphan": False})
+        store.write("orphan", (1,), True)
+        store2, _ = evaluate(d, make_packet(srcip=1), store)
+        assert store2.read("orphan", (1,)) is False

@@ -1,0 +1,210 @@
+"""Deep corner cases of sequential xFDD composition (Appendix E).
+
+Each case pairs a compile-time structural expectation with a semantic
+check against the reference evaluator.
+"""
+
+from repro.lang import ast, parse
+from repro.lang.packet import make_packet
+from repro.lang.semantics import eval_policy
+from repro.lang.state import Store
+from repro.xfdd.build import build_xfdd
+from repro.xfdd.diagram import Branch, Leaf, evaluate, iter_paths
+from repro.xfdd.tests import FieldFieldTest, FieldValueTest, StateVarTest
+
+
+def check_equiv(policy, packets, defaults=None):
+    defaults = defaults or ast.infer_state_defaults(policy)
+    xfdd = build_xfdd(policy)
+    ref = Store(defaults)
+    got = Store(defaults)
+    for pkt in packets:
+        ref, out_ref, _ = eval_policy(policy, ref, pkt)
+        got, out_got = evaluate(xfdd, pkt, got)
+        assert out_ref == out_got
+        assert ref == got
+    return xfdd
+
+
+class TestFieldMapThroughState:
+    def test_mod_between_state_ops(self):
+        # f <- 7 ; s[f] <- 1 ; s[7] = 1   must statically resolve to true.
+        policy = ast.seq_all(
+            [
+                ast.Mod("fa", 7),
+                ast.StateMod("s", ast.Field("fa"), ast.Value(1)),
+                ast.StateTest("s", ast.Value(7), ast.Value(1)),
+            ]
+        )
+        xfdd = check_equiv(policy, [make_packet(fa=0)])
+        assert isinstance(xfdd, Leaf)
+
+    def test_mod_after_state_op_does_not_affect_it(self):
+        # s[f] <- 1 with OLD f; then f <- 7; test s[7] = 1 is undecidable
+        # unless f was 7 before: expect a field-value test on the old f.
+        policy = ast.seq_all(
+            [
+                ast.StateMod("s", ast.Field("fa"), ast.Value(1)),
+                ast.Mod("fa", 7),
+                ast.StateTest("s", ast.Value(7), ast.Value(1)),
+            ]
+        )
+        xfdd = check_equiv(
+            policy, [make_packet(fa=7), make_packet(fa=3)], {"s": 0}
+        )
+        assert isinstance(xfdd, Branch)
+        assert xfdd.test == FieldValueTest("fa", 7)
+
+    def test_overwritten_mod_uses_latest(self):
+        policy = ast.seq_all(
+            [
+                ast.Mod("fa", 1),
+                ast.Mod("fa", 2),
+                ast.Test("fa", 2),
+            ]
+        )
+        xfdd = check_equiv(policy, [make_packet(fa=9)])
+        assert isinstance(xfdd, Leaf)
+
+
+class TestWriteChains:
+    def test_later_write_shadows_earlier(self):
+        # s[0] <- 1 ; s[0] <- 2 ; s[0] = 2 resolves true.
+        policy = ast.seq_all(
+            [
+                ast.StateMod("s", ast.Value(0), ast.Value(1)),
+                ast.StateMod("s", ast.Value(0), ast.Value(2)),
+                ast.StateTest("s", ast.Value(0), ast.Value(2)),
+            ]
+        )
+        xfdd = check_equiv(policy, [make_packet()])
+        assert isinstance(xfdd, Leaf)
+
+    def test_unknown_index_write_splits(self):
+        # s[fa] <- 2 ; s[0] = 2: decidable only by comparing fa with 0.
+        policy = ast.seq_all(
+            [
+                ast.StateMod("s", ast.Field("fa"), ast.Value(2)),
+                ast.StateTest("s", ast.Value(0), ast.Value(2)),
+            ]
+        )
+        xfdd = check_equiv(
+            policy, [make_packet(fa=0), make_packet(fa=5)], {"s": 0}
+        )
+        assert isinstance(xfdd, Branch)
+        assert xfdd.test == FieldValueTest("fa", 0)
+
+    def test_two_unknown_indices_field_field(self):
+        # s[fa] <- 2 ; s[fb] = 2 needs the field-field test fa = fb.
+        policy = ast.seq_all(
+            [
+                ast.StateMod("s", ast.Field("fa"), ast.Value(2)),
+                ast.StateTest("s", ast.Field("fb"), ast.Value(2)),
+            ]
+        )
+        xfdd = check_equiv(
+            policy,
+            [make_packet(fa=1, fb=1), make_packet(fa=1, fb=2)],
+            {"s": 0},
+        )
+        assert isinstance(xfdd, Branch)
+        assert isinstance(xfdd.test, FieldFieldTest)
+
+    def test_decrement_then_threshold(self):
+        # c[0]-- ; c[0] = 0 is the pre-test c[0] = 1.
+        policy = ast.seq_all(
+            [
+                ast.StateDecr("c", ast.Value(0)),
+                ast.StateTest("c", ast.Value(0), ast.Value(0)),
+            ]
+        )
+        xfdd = check_equiv(policy, [make_packet()], {"c": 0})
+        assert xfdd.test == StateVarTest("c", ast.Value(0), ast.Value(1))
+
+    def test_mixed_incr_decr_cancel(self):
+        # c[0]++ ; c[0]-- ; c[0] = 5 tests the original value.
+        policy = ast.seq_all(
+            [
+                ast.StateIncr("c", ast.Value(0)),
+                ast.StateDecr("c", ast.Value(0)),
+                ast.StateTest("c", ast.Value(0), ast.Value(5)),
+            ]
+        )
+        xfdd = check_equiv(policy, [make_packet()], {"c": 0})
+        assert xfdd.test == StateVarTest("c", ast.Value(0), ast.Value(5))
+
+
+class TestContextPruning:
+    def test_same_test_not_repeated_across_seq(self):
+        policy = ast.Seq(
+            ast.Test("srcport", 53),
+            ast.If(ast.Test("srcport", 53), ast.Mod("fa", 1), ast.Mod("fa", 2)),
+        )
+        xfdd = check_equiv(policy, [make_packet(srcport=53), make_packet(srcport=9)])
+        # The inner test is implied by the outer; one test node suffices.
+        tests = [t for path, _ in iter_paths(xfdd) for t, _ in path]
+        assert tests.count(FieldValueTest("srcport", 53)) <= 2  # ≤ once per path
+
+    def test_state_test_reuse_in_seq(self):
+        # Testing s twice in sequence resolves the second occurrence.
+        pred = ast.StateTest("s", ast.Value(0), ast.Value(1))
+        policy = ast.Seq(pred, ast.If(pred, ast.Mod("fa", 1), ast.Mod("fa", 2)))
+        xfdd = check_equiv(policy, [make_packet()], {"s": 0})
+        state_tests = {
+            t
+            for path, _ in iter_paths(xfdd)
+            for t, _ in path
+            if isinstance(t, StateVarTest)
+        }
+        assert len(state_tests) == 1
+
+    def test_contradictory_guards_produce_no_dead_writes(self):
+        # (srcport=53; s[0]<-1); (srcport!=53; s[0]<-2) sequential: the
+        # second write is unreachable — composition yields drop for all.
+        policy = ast.Seq(
+            ast.Seq(ast.Test("srcport", 53), ast.StateMod("s", ast.Value(0), ast.Value(1))),
+            ast.Seq(ast.Not(ast.Test("srcport", 53)), ast.StateMod("s", ast.Value(0), ast.Value(2))),
+        )
+        xfdd = check_equiv(
+            policy, [make_packet(srcport=53), make_packet(srcport=1)], {"s": 0}
+        )
+        for _path, leaf in iter_paths(xfdd):
+            # No leaf may perform the impossible double write.
+            for seq in leaf.seqs:
+                values = [
+                    a.value for a in seq if getattr(a, "var", None) == "s"
+                ]
+                assert len(values) <= 1
+
+
+class TestParsedPolicies:
+    def test_figure1_composed_with_monitoring(self):
+        # §2.1: (DNS-tunnel-detect + count[inport]++); assign-egress
+        from repro.apps import assign_egress, default_subnets, dns_tunnel_detect
+
+        detect = dns_tunnel_detect(threshold=2)
+        count = parse("count[inport]++")
+        policy = ast.Seq(
+            ast.Parallel(detect.policy, count),
+            assign_egress(default_subnets(6)),
+        )
+        defaults = dict(detect.state_defaults)
+        defaults["count"] = 0
+        from repro.util.ipaddr import IPPrefix
+
+        client = IPPrefix("10.0.6.9").network
+        packets = [
+            make_packet(
+                inport=1, srcip=IPPrefix("10.0.1.1").network, dstip=client,
+                srcport=53, dstport=9, **{"dns.rdata": 42},
+            )
+        ] * 3
+        xfdd = build_xfdd(policy)
+        ref = Store(defaults)
+        got = Store(defaults)
+        for pkt in packets:
+            ref, out_ref, _ = eval_policy(policy, ref, pkt)
+            got, out_got = evaluate(xfdd, pkt, got)
+            assert out_ref == out_got and ref == got
+        assert got.read("count", (1,)) == 3
+        assert got.read("blacklist", (client,)) is True

@@ -1,0 +1,166 @@
+"""Unit tests for xFDD nodes, leaves, normalization, and evaluation."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import RaceConditionError
+from repro.lang.packet import make_packet
+from repro.lang.state import Store
+from repro.xfdd.actions import DROP_ACTION, FieldAssign, StateAssign, StateDelta
+from repro.xfdd.diagram import (
+    DROP,
+    IDENTITY,
+    Branch,
+    Leaf,
+    evaluate,
+    is_predicate_diagram,
+    iter_leaves,
+    iter_paths,
+    make_branch,
+    make_leaf,
+    size,
+)
+from repro.xfdd.tests import FieldValueTest, StateVarTest
+
+
+def fv(field, value):
+    return FieldValueTest(field, value)
+
+
+class TestLeafNormalization:
+    def test_identity_leaf(self):
+        assert make_leaf([()]) is IDENTITY
+
+    def test_empty_set_is_drop(self):
+        assert make_leaf([]) is DROP
+
+    def test_drop_only_sequence_is_drop(self):
+        assert make_leaf([(DROP_ACTION,)]) is DROP
+
+    def test_field_mods_before_drop_are_erased(self):
+        leaf = make_leaf([(FieldAssign("f", 1), DROP_ACTION)])
+        assert leaf is DROP
+
+    def test_state_write_before_drop_is_kept(self):
+        write = StateAssign("s", ast.Value(0), ast.Value(1))
+        leaf = make_leaf([(write, DROP_ACTION)])
+        assert leaf is not DROP
+        assert leaf.written_state_vars() == frozenset(("s",))
+
+    def test_redundant_drop_sequence_removed(self):
+        leaf = make_leaf([(), (DROP_ACTION,)])
+        assert leaf is IDENTITY
+
+    def test_interning(self):
+        a = make_leaf([(FieldAssign("f", 1),)])
+        b = make_leaf([(FieldAssign("f", 1),)])
+        assert a is b
+
+    def test_parallel_write_write_race_rejected(self):
+        w1 = (StateAssign("s", ast.Value(0), ast.Value(1)),)
+        w2 = (StateAssign("s", ast.Value(0), ast.Value(2)),)
+        with pytest.raises(RaceConditionError):
+            make_leaf([w1, w2])
+
+    def test_identical_parallel_writes_collapse(self):
+        w = (StateAssign("s", ast.Value(0), ast.Value(1)),)
+        leaf = make_leaf([w, tuple(w)])
+        assert len(leaf.seqs) == 1
+
+    def test_distinct_vars_no_race(self):
+        w1 = (StateAssign("s", ast.Value(0), ast.Value(1)),)
+        w2 = (StateAssign("t", ast.Value(0), ast.Value(2)),)
+        leaf = make_leaf([w1, w2])
+        assert len(leaf.seqs) == 2
+
+
+class TestBranch:
+    def test_collapses_equal_children(self):
+        assert make_branch(fv("f", 1), IDENTITY, IDENTITY) is IDENTITY
+
+    def test_interning(self):
+        a = make_branch(fv("f", 1), IDENTITY, DROP)
+        b = make_branch(fv("f", 1), IDENTITY, DROP)
+        assert a is b
+
+    def test_tested_state_vars(self):
+        test = StateVarTest("s", ast.Field("srcip"), ast.Value(True))
+        d = make_branch(test, IDENTITY, DROP)
+        assert d.tested_state_vars() == frozenset(("s",))
+
+    def test_size(self):
+        d = make_branch(fv("f", 1), IDENTITY, DROP)
+        assert size(d) == 3
+
+
+class TestPredicateDiagram:
+    def test_identity_and_drop_are_predicates(self):
+        assert is_predicate_diagram(IDENTITY)
+        assert is_predicate_diagram(DROP)
+
+    def test_action_leaf_is_not(self):
+        leaf = make_leaf([(FieldAssign("f", 1),)])
+        assert not is_predicate_diagram(leaf)
+
+
+class TestEvaluate:
+    def test_branch_dispatch(self):
+        d = make_branch(fv("srcport", 53), IDENTITY, DROP)
+        store = Store()
+        _, out = evaluate(d, make_packet(srcport=53), store)
+        assert len(out) == 1
+        _, out = evaluate(d, make_packet(srcport=80), store)
+        assert not out
+
+    def test_state_test_uses_store(self):
+        test = StateVarTest("s", ast.Field("srcip"), ast.Value(True))
+        d = make_branch(test, IDENTITY, DROP)
+        store = Store({"s": False})
+        _, out = evaluate(d, make_packet(srcip=1), store)
+        assert not out
+        store.write("s", (1,), True)
+        _, out = evaluate(d, make_packet(srcip=1), store)
+        assert out
+
+    def test_leaf_parallel_sequences(self):
+        leaf = make_leaf([(FieldAssign("outport", 1),), (FieldAssign("outport", 2),)])
+        _, out = evaluate(leaf, make_packet(), Store())
+        assert {p.get("outport") for p in out} == {1, 2}
+
+    def test_leaf_state_effects_merge(self):
+        leaf = make_leaf(
+            [
+                (StateAssign("s", ast.Value(0), ast.Value(1)),),
+                (StateDelta("t", (ast.Value(0),), 1),),
+            ]
+        )
+        store, out = evaluate(leaf, make_packet(), Store({"t": 0}))
+        assert store.read("s", (0,)) == 1
+        assert store.read("t", (0,)) == 1
+        assert len(out) == 1  # identical output packets collapse in the set
+
+    def test_input_store_unchanged(self):
+        leaf = make_leaf([(StateAssign("s", ast.Value(0), ast.Value(1)),)])
+        store = Store()
+        evaluate(leaf, make_packet(), store)
+        assert store.read("s", (0,)) is False
+
+    def test_drop_sequence_keeps_state(self):
+        leaf = make_leaf([(StateDelta("c", (ast.Value(0),), 1), DROP_ACTION)])
+        store, out = evaluate(leaf, make_packet(), Store({"c": 0}))
+        assert not out
+        assert store.read("c", (0,)) == 1
+
+
+class TestIterators:
+    def test_iter_leaves_dedups(self):
+        d = make_branch(fv("f", 1), IDENTITY, make_branch(fv("g", 2), IDENTITY, DROP))
+        leaves = list(iter_leaves(d))
+        assert IDENTITY in leaves and DROP in leaves
+        assert len(leaves) == 2
+
+    def test_iter_paths(self):
+        d = make_branch(fv("f", 1), IDENTITY, DROP)
+        paths = dict(iter_paths(d))
+        assert len(paths) == 2
+        assert ((fv("f", 1), True),) in paths

@@ -1,0 +1,103 @@
+"""Tests for the test order (§4.2) and the paper's Figure 3 xFDD."""
+
+from repro.analysis.dependency import analyze_dependencies
+from repro.apps.chimera import dns_tunnel_detect
+from repro.lang import ast, parse
+from repro.lang.fields import FieldRegistry
+from repro.util.ipaddr import IPPrefix
+from repro.xfdd.build import build_xfdd
+from repro.xfdd.diagram import Branch, Leaf, iter_paths
+from repro.xfdd.order import TestOrder as XFDDTestOrder
+from repro.xfdd.tests import FieldFieldTest, FieldValueTest, StateVarTest
+
+
+class TestTestOrder:
+    def setup_method(self):
+        self.order = XFDDTestOrder(FieldRegistry(), {"a": 0, "b": 1})
+
+    def test_field_value_before_field_field(self):
+        fv = FieldValueTest("srcip", 1)
+        ff = FieldFieldTest("srcip", "dstip")
+        assert self.order.lt(fv, ff)
+
+    def test_field_field_before_state(self):
+        ff = FieldFieldTest("srcip", "dstip")
+        st = StateVarTest("a", ast.Value(0), ast.Value(1))
+        assert self.order.lt(ff, st)
+
+    def test_state_order_follows_dependency_rank(self):
+        st_a = StateVarTest("a", ast.Value(0), ast.Value(1))
+        st_b = StateVarTest("b", ast.Value(0), ast.Value(1))
+        assert self.order.lt(st_a, st_b)
+
+    def test_fields_ordered_by_registry(self):
+        # inport is registered first of all fields.
+        early = FieldValueTest("inport", 1)
+        late = FieldValueTest("dstport", 1)
+        assert self.order.lt(early, late)
+
+    def test_unknown_state_vars_sort_after_ranked(self):
+        ranked = StateVarTest("a", ast.Value(0), ast.Value(1))
+        unranked = StateVarTest("zzz", ast.Value(0), ast.Value(1))
+        assert self.order.lt(ranked, unranked)
+
+
+class TestWellFormedness:
+    def _check_path_order(self, xfdd, order):
+        """No path may repeat a test or violate the total order badly
+        enough to repeat state tests (soft check, see compose.py notes)."""
+        for path, _leaf in iter_paths(xfdd):
+            tests = [t for t, _ in path]
+            assert len(tests) == len(set(tests)), f"duplicate test on path {tests}"
+
+    def test_dns_tunnel_no_duplicate_tests(self):
+        program = dns_tunnel_detect().full_policy()
+        deps = analyze_dependencies(program)
+        xfdd = build_xfdd(program, state_rank=deps.state_rank)
+        self._check_path_order(xfdd, deps)
+
+
+class TestFigure3:
+    """Structural checks of the paper's running-example xFDD (Figure 3)."""
+
+    def setup_method(self):
+        program = dns_tunnel_detect(threshold=3)
+        self.deps = analyze_dependencies(program.policy)
+        self.xfdd = build_xfdd(program.policy, state_rank=self.deps.state_rank)
+
+    def test_dependency_chain(self):
+        # §4.1: blacklist depends on susp-client, itself dependent on orphan.
+        assert ("susp-client", "blacklist") in self.deps.dep
+        assert ("orphan", "susp-client") in self.deps.dep
+        assert self.deps.state_rank["orphan"] < self.deps.state_rank["susp-client"]
+        assert self.deps.state_rank["susp-client"] < self.deps.state_rank["blacklist"]
+
+    def test_threshold_minus_one_test(self):
+        # The increment before the threshold test folds into
+        # susp-client[dstip] = threshold - 1 (as in Figure 3's node).
+        wanted = StateVarTest("susp-client", ast.Field("dstip"), ast.Value(2))
+        found = any(
+            isinstance(t, StateVarTest) and t == wanted
+            for path, _ in iter_paths(self.xfdd)
+            for t, _ in path
+        )
+        assert found
+
+    def test_dns_branch_writes_all_three_vars(self):
+        # Some leaf writes orphan, susp-client, and blacklist together.
+        leaves = [leaf for _, leaf in iter_paths(self.xfdd)]
+        assert any(
+            leaf.written_state_vars()
+            == frozenset(("orphan", "susp-client", "blacklist"))
+            for leaf in leaves
+        )
+
+    def test_orphan_test_under_srcip_branch(self):
+        # Outgoing packets from the subnet test orphan[srcip][dstip].
+        wanted_var = "orphan"
+        found = any(
+            isinstance(t, StateVarTest) and t.var == wanted_var
+            for path, _ in iter_paths(self.xfdd)
+            for t, _ in path
+        )
+        assert found
