@@ -1,0 +1,62 @@
+"""Ad-hoc before/after measurement for the perf PR (not a pytest bench).
+
+Usage: PYTHONPATH=src python benchmarks/_measure_perf.py <label>
+Prints P1+P2+P3 analysis time at 120 switches and replay throughput.
+"""
+
+import sys
+import time
+
+sys.path.insert(0, "benchmarks")
+
+from repro.core.pipeline import Compiler
+from repro.topology.igen import igen_topology
+from repro.util.timer import PhaseTimer
+
+from workloads import DEFAULT_PORTS, dns_tunnel_program
+
+label = sys.argv[1] if len(sys.argv) > 1 else "run"
+
+# -- analysis time (P1+P2+P3) at 120 switches ------------------------------
+topology = igen_topology(120, num_ports=DEFAULT_PORTS, seed=0)
+program = dns_tunnel_program(DEFAULT_PORTS)
+compiler = Compiler(topology, program)
+best = float("inf")
+for _ in range(7):
+    timer = PhaseTimer()
+    compiler._analysis_phases(program, timer)
+    best = min(best, timer.total(("P1", "P2", "P3")))
+print(f"[{label}] analysis P1+P2+P3 @120sw (best of 7): {best * 1000:.1f}ms")
+
+# -- data-plane replay throughput ------------------------------------------
+from repro.apps import (
+    assign_egress,
+    default_subnets,
+    dns_tunnel_detect,
+    port_assumption,
+)
+from repro.core.program import Program
+from repro.lang import ast
+from repro.topology.campus import campus_topology
+from repro.workloads import background_traffic, replay
+
+SUBNETS = default_subnets(6)
+app = dns_tunnel_detect()
+prog = Program(
+    ast.Seq(app.policy, assign_egress(SUBNETS)),
+    assumption=port_assumption(SUBNETS),
+    state_defaults=app.state_defaults,
+    name=app.name,
+)
+result = Compiler(campus_topology(), prog).cold_start()
+trace = background_traffic(SUBNETS, count=400, seed=7)
+best = float("inf")
+for _ in range(7):
+    network = result.build_network()
+    t0 = time.perf_counter()
+    stats = replay(trace, network)
+    t1 = time.perf_counter()
+    best = min(best, t1 - t0)
+pps = stats.sent / best
+print(f"[{label}] replay (best of 7): {stats.sent} pkts in {best * 1000:.1f}ms "
+      f"= {pps:,.0f} pkt/s (delivered {stats.delivery_rate * 100:.0f}%)")

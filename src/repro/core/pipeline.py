@@ -33,6 +33,7 @@ from repro.topology.traffic import gravity_traffic_matrix
 from repro.util.timer import PhaseTimer
 from repro.xfdd.build import to_xfdd
 from repro.xfdd.compose import Composer
+from repro.xfdd.diagram import DiagramFactory
 from repro.xfdd.order import TestOrder
 
 #: Table 4: which phases run in each scenario.
@@ -60,6 +61,7 @@ class CompilationResult:
         timer: PhaseTimer,
         scenario: str,
         model_stats: dict | None = None,
+        diagram_factory: DiagramFactory | None = None,
     ):
         self.program = program
         self.topology = topology
@@ -73,6 +75,9 @@ class CompilationResult:
         self.timer = timer
         self.scenario = scenario
         self.model_stats = model_stats or {}
+        #: The hash-consing session that built ``xfdd`` (None for scenarios
+        #: that reuse a previous compilation's diagram).
+        self.diagram_factory = diagram_factory
 
     def scenario_time(self, scenario: str | None = None) -> float:
         """Total time of the phases Table 4 assigns to the scenario."""
@@ -136,11 +141,19 @@ class Compiler:
             dependencies = analyze_dependencies(program.full_policy())
         with timer.phase("P2"):
             order = TestOrder(program.registry, dependencies.state_rank)
-            xfdd = to_xfdd(program.full_policy(), Composer(order))
+            # One hash-consing session and apply-cache per compilation:
+            # the intern table cannot leak across runs, and cache hit
+            # counters describe exactly this program.
+            factory = DiagramFactory()
+            composer = Composer(order, factory=factory)
+            xfdd = to_xfdd(program.full_policy(), composer)
         with timer.phase("P3"):
             ports = sorted(self.topology.ports)
             mapping = packet_state_mapping(xfdd, ports, ports)
-        return dependencies, xfdd, mapping
+        xfdd_stats = {
+            f"xfdd_{name}": value for name, value in composer.cache_stats().items()
+        }
+        return dependencies, xfdd, mapping, xfdd_stats, factory
 
     def _solve_st(self, dependencies, mapping, timer: PhaseTimer):
         if self.use_heuristic:
@@ -171,7 +184,8 @@ class Compiler:
         return solution, routing, stats
 
     def _finish(self, program, dependencies, xfdd, mapping, solution, routing,
-                timer: PhaseTimer, scenario: str, stats: dict):
+                timer: PhaseTimer, scenario: str, stats: dict,
+                diagram_factory: DiagramFactory | None = None):
         with timer.phase("P6"):
             if routing is None:
                 routing = extract_paths(solution, self.topology, mapping, dependencies)
@@ -191,6 +205,7 @@ class Compiler:
             timer=timer,
             scenario=scenario,
             model_stats=stats,
+            diagram_factory=diagram_factory,
         )
         self._last = result
         return result
@@ -200,11 +215,13 @@ class Compiler:
     def cold_start(self) -> CompilationResult:
         """First compilation: all phases including MILP creation."""
         timer = PhaseTimer()
-        deps, xfdd, mapping = self._analysis_phases(self.program, timer)
+        deps, xfdd, mapping, xfdd_stats, factory = self._analysis_phases(
+            self.program, timer
+        )
         solution, routing, stats = self._solve_st(deps, mapping, timer)
         return self._finish(
             self.program, deps, xfdd, mapping, solution, routing, timer,
-            "cold_start", stats,
+            "cold_start", {**stats, **xfdd_stats}, factory,
         )
 
     def policy_change(self, new_program: Program | None = None) -> CompilationResult:
@@ -212,11 +229,13 @@ class Compiler:
         if new_program is not None:
             self.program = new_program
         timer = PhaseTimer()
-        deps, xfdd, mapping = self._analysis_phases(self.program, timer)
+        deps, xfdd, mapping, xfdd_stats, factory = self._analysis_phases(
+            self.program, timer
+        )
         solution, routing, stats = self._solve_st(deps, mapping, timer)
         return self._finish(
             self.program, deps, xfdd, mapping, solution, routing, timer,
-            "policy_change", stats,
+            "policy_change", {**stats, **xfdd_stats}, factory,
         )
 
     def topology_change(
@@ -293,6 +312,7 @@ class Compiler:
                 timer,
                 "topology_change",
                 {},
+                previous.diagram_factory,
             )
         finally:
             self.topology = saved_topology

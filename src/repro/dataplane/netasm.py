@@ -28,12 +28,15 @@ from __future__ import annotations
 
 from repro.dataplane.header import SNAP_NODE
 from repro.dataplane.split import NodeIndex, _ordered_seqs, leaf_groups, state_owner
+from repro.lang import ast
 from repro.lang.errors import DataPlaneError
 from repro.lang.packet import Packet
 from repro.lang.state import Store
+from repro.lang.values import matches
+from repro.util.ipaddr import IPPrefix
 from repro.xfdd.actions import DropAction, FieldAssign, StateAssign, StateDelta
-from repro.xfdd.diagram import Branch, Leaf, XFDD, eval_exprs, eval_test, pack_value
-from repro.xfdd.tests import StateVarTest
+from repro.xfdd.diagram import Branch, Leaf, XFDD
+from repro.xfdd.tests import FieldFieldTest, FieldValueTest, StateVarTest
 
 # -- instructions -------------------------------------------------------------
 
@@ -134,6 +137,121 @@ class IEmit(Instr):
         return "EMIT"
 
 
+# -- fast-path lowering --------------------------------------------------------
+#
+# The instruction objects above are the readable, reportable program.  For
+# execution we lower them once, at program build time, into flat opcode
+# tuples whose operands are *precompiled closures*: test nodes become
+# predicate functions with their fields/values/state tables already bound,
+# and expression tuples become getter functions.  The interpreter then runs
+# a tight integer-dispatch loop with no isinstance chains and no
+# per-packet expression re-interpretation — the table-driven discipline of
+# a real switch pipeline.
+
+OP_BRANCH = 0
+OP_PAUSE = 1
+OP_FORK = 2
+OP_JUMP = 3
+OP_SET = 4
+OP_STWRITE = 5
+OP_STDELTA = 6
+OP_DROP = 7
+OP_EMIT = 8
+
+
+def _compile_getter(expr):
+    """One scalar expression -> ``f(pkt) -> value``."""
+    if isinstance(expr, ast.Field):
+        name = expr.name
+        # Reach into the packet's field dict directly: this closure runs
+        # per packet per instruction and Packet.get is pure indirection.
+        return lambda pkt: pkt._fields.get(name)
+    value = expr.value
+    return lambda pkt: value
+
+
+def _compile_exprs(exprs: tuple):
+    """An expression tuple -> ``f(pkt) -> tuple`` (state-table key)."""
+    getters = tuple(_compile_getter(e) for e in exprs)
+    if len(getters) == 1:
+        g = getters[0]
+        return lambda pkt: (g(pkt),)
+    return lambda pkt: tuple(g(pkt) for g in getters)
+
+
+def _compile_packed(exprs: tuple):
+    """An expression tuple -> ``f(pkt) -> packed value`` (see pack_value)."""
+    if len(exprs) == 1:
+        return _compile_getter(exprs[0])
+    return _compile_exprs(exprs)
+
+
+def _compile_test(test, store: Store):
+    """Lower one xFDD test to a ``f(pkt) -> bool`` closure.
+
+    Must agree exactly with :func:`repro.xfdd.diagram.eval_test`.
+    """
+    if isinstance(test, FieldValueTest):
+        field, value = test.field, test.value
+        if isinstance(value, IPPrefix):
+            network, mask = value.network, value.mask
+
+            def prefix_test(pkt):
+                v = pkt._fields.get(field)
+                if type(v) is int:  # exact: bool is not an address
+                    return (v & mask) == network
+                return matches(v, value)
+
+            return prefix_test
+        # For non-prefix values `matches` is plain equality.
+        return lambda pkt: pkt._fields.get(field) == value
+    if isinstance(test, FieldFieldTest):
+        f1, f2 = test.field1, test.field2
+        return lambda pkt: pkt._fields.get(f1) == pkt._fields.get(f2)
+    if isinstance(test, StateVarTest):
+        variable = store.variable(test.var)
+        key_fn = _compile_exprs(test.index)
+        want_fn = _compile_packed(test.value)
+        return lambda pkt: variable.get(key_fn(pkt)) == want_fn(pkt)
+    raise DataPlaneError(f"cannot compile test {test!r}")
+
+
+def _lower(instructions, store: Store) -> list:
+    """Lower Instr objects to flat opcode tuples (same indices)."""
+    ops = []
+    for instr in instructions:
+        if isinstance(instr, IBranch):
+            ops.append(
+                (OP_BRANCH, _compile_test(instr.test, store),
+                 instr.on_true, instr.on_false)
+            )
+        elif isinstance(instr, IPause):
+            ops.append((OP_PAUSE, instr.tag, instr.var))
+        elif isinstance(instr, IFork):
+            ops.append((OP_FORK, instr.targets))
+        elif isinstance(instr, IJump):
+            ops.append((OP_JUMP, instr.target))
+        elif isinstance(instr, ISet):
+            ops.append((OP_SET, instr.field, instr.value))
+        elif isinstance(instr, IStateWrite):
+            ops.append(
+                (OP_STWRITE, store.variable(instr.var),
+                 _compile_exprs(instr.index), _compile_packed(instr.value))
+            )
+        elif isinstance(instr, IStateDelta):
+            ops.append(
+                (OP_STDELTA, store.variable(instr.var),
+                 _compile_exprs(instr.index), instr.delta)
+            )
+        elif isinstance(instr, IDrop):
+            ops.append((OP_DROP,))
+        elif isinstance(instr, IEmit):
+            ops.append((OP_EMIT,))
+        else:
+            raise DataPlaneError(f"unknown instruction {instr!r}")
+    return ops
+
+
 # -- outcomes ------------------------------------------------------------------
 
 
@@ -162,58 +280,60 @@ class SwitchProgram:
         self.instructions = instructions
         self.entries = entries  # xFDD tag -> instruction index
         self.store = store
+        # Lowered once; `process` only ever touches the flat form.
+        self._ops = _lower(instructions, store)
 
     def can_process(self, tag: int) -> bool:
         return tag in self.entries
 
     def process(self, packet: Packet) -> list:
-        """Run the packet (and its forked copies) to pause/emit/drop."""
+        """Run the packet (and its forked copies) to pause/emit/drop.
+
+        Executes the lowered opcode table (see ``_lower``); a packet's run
+        is atomic with respect to the switch's state tables.
+        """
         tag = packet.get(SNAP_NODE)
-        if tag not in self.entries:
+        entry = self.entries.get(tag)
+        if entry is None:
             raise DataPlaneError(
                 f"switch {self.switch} cannot process tag {tag!r}"
             )
         outcomes: list[Outcome] = []
-        stack = [(self.entries[tag], packet)]
+        ops = self._ops
+        stack = [(entry, packet)]
         while stack:
             idx, pkt = stack.pop()
             while True:
-                instr = self.instructions[idx]
-                if isinstance(instr, IBranch):
-                    taken = eval_test(instr.test, pkt, self.store)
-                    idx = instr.on_true if taken else instr.on_false
-                elif isinstance(instr, IPause):
-                    outcomes.append(
-                        Outcome("pause", pkt.modify(SNAP_NODE, instr.tag), instr.var)
-                    )
-                    break
-                elif isinstance(instr, IFork):
-                    for target in instr.targets:
-                        stack.append((target, pkt))
-                    break
-                elif isinstance(instr, IJump):
-                    idx = instr.target
-                elif isinstance(instr, ISet):
-                    pkt = pkt.modify(instr.field, instr.value)
+                op = ops[idx]
+                code = op[0]
+                if code == OP_BRANCH:
+                    idx = op[2] if op[1](pkt) else op[3]
+                elif code == OP_SET:
+                    pkt = pkt.modify(op[1], op[2])
                     idx += 1
-                elif isinstance(instr, IStateWrite):
-                    key = eval_exprs(instr.index, pkt)
-                    self.store.write(
-                        instr.var, key, pack_value(eval_exprs(instr.value, pkt))
-                    )
+                elif code == OP_STWRITE:
+                    op[1].set(op[2](pkt), op[3](pkt))
                     idx += 1
-                elif isinstance(instr, IStateDelta):
-                    key = eval_exprs(instr.index, pkt)
-                    self.store.variable(instr.var).increment(key, instr.delta)
+                elif code == OP_STDELTA:
+                    op[1].increment(op[2](pkt), op[3])
                     idx += 1
-                elif isinstance(instr, IDrop):
-                    outcomes.append(Outcome("drop", pkt))
-                    break
-                elif isinstance(instr, IEmit):
+                elif code == OP_JUMP:
+                    idx = op[1]
+                elif code == OP_EMIT:
                     outcomes.append(Outcome("emit", pkt))
                     break
-                else:
-                    raise DataPlaneError(f"unknown instruction {instr!r}")
+                elif code == OP_PAUSE:
+                    outcomes.append(
+                        Outcome("pause", pkt.modify(SNAP_NODE, op[1]), op[2])
+                    )
+                    break
+                elif code == OP_FORK:
+                    for target in op[1]:
+                        stack.append((target, pkt))
+                    break
+                else:  # OP_DROP
+                    outcomes.append(Outcome("drop", pkt))
+                    break
         return outcomes
 
     def to_text(self) -> str:

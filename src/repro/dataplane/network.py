@@ -24,8 +24,6 @@ from __future__ import annotations
 
 from collections import deque
 
-import networkx as nx
-
 from repro.dataplane.header import (
     DONE_TAG,
     ROOT_TAG,
@@ -94,17 +92,39 @@ class Network:
         }
         self.link_packets: dict = {}
         self.deliveries: list[DeliveryRecord] = []
+        # Per-flow path indices: (u, v) -> {switch: position} and
+        # (u, v) -> {switch: next_hop}, so the per-hop "is this switch on
+        # the installed path / what comes after it" questions are dict
+        # lookups instead of list scans.
+        self._path_pos: dict = {}
+        self._path_next: dict = {}
+        for (u, v), path in routing.paths.items():
+            self._path_pos[(u, v)] = {sw: i for i, sw in enumerate(path)}
+            self._path_next[(u, v)] = dict(zip(path, path[1:]))
+        # Candidate-egress index (Appendix D): (u, var) -> flows needing
+        # ``var``, highest demand first (stable, so ties keep the mapping's
+        # iteration order — the same flow the per-query scan used to pick).
+        self._egress_index: dict = {}
+        for (fu, fv), states in self.mapping.items():
+            pos = self._path_pos.get((fu, fv))
+            if pos is None:
+                continue
+            demand = self.demands.get((fu, fv), 0.0)
+            for var in states:
+                self._egress_index.setdefault((fu, var), []).append(
+                    (demand, fv, pos)
+                )
+        for candidates in self._egress_index.values():
+            candidates.sort(key=lambda entry: -entry[0])
         # Default routes: shortest-path next hop toward each switch, used
         # for processing-complete packets with no installed (u, v) rule —
         # e.g. hairpin flows (egress == ingress port) or re-tagged egresses.
         # Such packets have no remaining state constraints, so any route
-        # to the egress is semantically equivalent.
+        # to the egress is semantically equivalent.  Computed lazily: one
+        # reverse BFS per egress switch covers every source at once, and
+        # only egresses that actually need a default route pay for it.
         self._default_next: dict = {}
-        for target in set(topology.ports.values()):
-            paths = nx.shortest_path(topology.graph, target=target)
-            for source, path in paths.items():
-                if len(path) >= 2:
-                    self._default_next[(source, target)] = path[1]
+        self._default_done: set = set()
 
     # -- state access ------------------------------------------------------
 
@@ -124,18 +144,39 @@ class Network:
 
     def _candidate_egress(self, u: int, var: str, current: str):
         """Pick a candidate egress whose (u, v) flow needs ``var`` and whose
-        installed path passes through ``current``; weighted by demand."""
-        best, best_demand = None, -1.0
-        for (fu, fv), states in self.mapping.items():
-            if fu != u or var not in states:
-                continue
-            path = self.routing.path(fu, fv)
-            if path is None or current not in path:
-                continue
-            demand = self.demands.get((fu, fv), 0.0)
-            if demand > best_demand:
-                best, best_demand = fv, demand
-        return best
+        installed path passes through ``current``; weighted by demand.
+
+        The per-(u, var) candidate list is precomputed in ``__init__`` and
+        kept sorted by demand, so this is a short scan for the first
+        candidate whose path covers ``current`` instead of a pass over the
+        whole packet-state mapping per pause."""
+        for _, fv, pos in self._egress_index.get((u, var), ()):
+            if current in pos:
+                return fv
+        return None
+
+    # -- default routes -------------------------------------------------------
+
+    def _default_next_hop(self, source: str, target: str):
+        """Next hop from ``source`` on some shortest path toward ``target``.
+
+        One reverse BFS from ``target`` fills in the next hop for *every*
+        source (the BFS parent pointers point toward the target), replacing
+        the per-source shortest-path calls this table was built from."""
+        if target not in self._default_done:
+            self._default_done.add(target)
+            default_next = self._default_next
+            adjacency = self.topology.graph.pred  # reverse edges of the DiGraph
+            visited = {target}
+            frontier = deque((target,))
+            while frontier:
+                node = frontier.popleft()
+                for prev in adjacency[node]:
+                    if prev not in visited:
+                        visited.add(prev)
+                        default_next[(prev, target)] = node
+                        frontier.append(prev)
+        return self._default_next.get((source, target))
 
     # -- packet walking -----------------------------------------------------------
 
@@ -144,6 +185,23 @@ class Network:
         records = self._run(self._new_arrivals(packet, port))
         self.deliveries.extend(records)
         return records
+
+    def inject_many(self, packets_with_ports) -> list[list[DeliveryRecord]]:
+        """Batched sequential mode: each packet runs to completion in order.
+
+        Semantically identical to calling :meth:`inject` per packet, but
+        amortizes per-call overhead for replay workloads; returns one
+        record list per injected packet.
+        """
+        results: list[list[DeliveryRecord]] = []
+        run = self._run
+        arrivals = self._new_arrivals
+        deliveries = self.deliveries
+        for packet, port in packets_with_ports:
+            records = run(arrivals(packet, port))
+            deliveries.extend(records)
+            results.append(records)
+        return results
 
     def inject_concurrent(self, packets_with_ports, scheduler=None) -> list[DeliveryRecord]:
         """Concurrent mode: all packets in flight, hops interleaved.
@@ -169,6 +227,7 @@ class Network:
         self, queue: deque, interleave: bool = False, scheduler=None
     ) -> list[DeliveryRecord]:
         records = []
+        step = self._step
         while queue:
             if scheduler is not None:
                 pending = list(queue)
@@ -181,50 +240,55 @@ class Network:
                 packet, switch, hops = queue.pop()
             if hops > MAX_HOPS:
                 raise DataPlaneError("packet exceeded hop limit (routing loop?)")
-            for item in self._step(packet, switch, hops):
-                if isinstance(item, DeliveryRecord):
+            for item in step(packet, switch, hops):
+                if type(item) is DeliveryRecord:
                     records.append(item)
                 else:
                     queue.append(item)
         return records
 
-    def _step(self, packet: Packet, switch: str, hops: int):
-        """Process-or-forward one packet at one switch."""
+    def _step(self, packet: Packet, switch: str, hops: int) -> list:
+        """Process-or-forward one packet at one switch.
+
+        Returns a list of :class:`DeliveryRecord` (done) and
+        ``(packet, next_switch, hops)`` tuples (still in flight) — one item
+        per packet copy.
+        """
         tag = packet.get(SNAP_NODE)
         program = self.switches[switch]
         if tag != DONE_TAG and program.can_process(tag):
-            for outcome in program.process(packet):
-                yield from self._handle_outcome(outcome, switch, hops)
-            return
-        yield from self._forward(packet, switch, hops)
+            handle = self._handle_outcome
+            return [
+                handle(outcome, switch, hops)
+                for outcome in program.process(packet)
+            ]
+        return [self._forward(packet, switch, hops)]
 
     def _handle_outcome(self, outcome, switch: str, hops: int):
         packet = outcome.packet
         u = packet.get(SNAP_INPORT)
-        if outcome.kind == "drop":
-            yield DeliveryRecord(packet, None, hops)
-            return
-        if outcome.kind == "emit":
+        kind = outcome.kind
+        if kind == "drop":
+            return DeliveryRecord(packet, None, hops)
+        if kind == "emit":
             egress = packet.get("outport")
             if egress is None or egress not in self.topology.ports:
-                yield DeliveryRecord(packet, None, hops)
-                return
+                return DeliveryRecord(packet, None, hops)
             packet = packet.modify_many({SNAP_OUTPORT: egress, SNAP_NODE: DONE_TAG})
-            yield from self._forward(packet, switch, hops)
-            return
+            return self._forward(packet, switch, hops)
         # pause: ensure the tagged egress candidate can reach the variable.
         var = outcome.var
         v = packet.get(SNAP_OUTPORT)
         needs_retag = True
         if v is not None:
-            path = self.routing.path(u, v)
+            pos = self._path_pos.get((u, v))
             if (
-                path is not None
-                and switch in path
+                pos is not None
+                and switch in pos
                 and var in self.mapping.states_for(u, v)
             ):
                 owner = self.placement[var]
-                if owner in path and path.index(owner) >= path.index(switch):
+                if owner in pos and pos[owner] >= pos[switch]:
                     needs_retag = False
         if needs_retag:
             candidate = self._candidate_egress(u, var, switch)
@@ -234,34 +298,33 @@ class Network:
                     f"{var!r} at {switch}"
                 )
             packet = packet.modify(SNAP_OUTPORT, candidate)
-        yield from self._forward(packet, switch, hops)
+        return self._forward(packet, switch, hops)
 
     def _forward(self, packet: Packet, switch: str, hops: int):
-        u = packet.get(SNAP_INPORT)
-        v = packet.get(SNAP_OUTPORT)
+        fields = packet._fields
+        u = fields.get(SNAP_INPORT)
+        v = fields.get(SNAP_OUTPORT)
         if v is None:
             raise DataPlaneError(f"packet at {switch} has no egress tag")
-        if switch == self.topology.port_switch(v) and packet.get(SNAP_NODE) == DONE_TAG:
-            yield DeliveryRecord(strip_header(packet), v, hops)
-            return
+        if switch == self.topology.port_switch(v) and fields.get(SNAP_NODE) == DONE_TAG:
+            return DeliveryRecord(strip_header(packet), v, hops)
         nxt = self.rules.next_hop(switch, u, v)
         if nxt is None:
             # Re-tagged packets may join the (u, v) path midway; recover by
             # walking the installed path from the current switch.
-            path = self.routing.path(u, v)
-            if path is not None and switch in path:
-                idx = path.index(switch)
-                nxt = path[idx + 1] if idx + 1 < len(path) else None
-        if nxt is None and packet.get(SNAP_NODE) == DONE_TAG:
+            chain = self._path_next.get((u, v))
+            if chain is not None:
+                nxt = chain.get(switch)
+        if nxt is None and fields.get(SNAP_NODE) == DONE_TAG:
             # Processing finished: any route to the egress works.
-            nxt = self._default_next.get((switch, self.topology.port_switch(v)))
+            nxt = self._default_next_hop(switch, self.topology.port_switch(v))
         if nxt is None:
             raise DataPlaneError(
                 f"no route at {switch} for flow ({u}, {v}) "
                 f"(tag={packet.get(SNAP_NODE)})"
             )
         self.link_packets[(switch, nxt)] = self.link_packets.get((switch, nxt), 0) + 1
-        yield (packet, nxt, hops + 1)
+        return (packet, nxt, hops + 1)
 
     # -- reporting -------------------------------------------------------------
 

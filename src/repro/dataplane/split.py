@@ -22,8 +22,12 @@ from repro.dataplane.header import ROOT_TAG
 
 
 def _ordered_seqs(leaf: Leaf):
-    """Deterministic ordering of a leaf's parallel action sequences."""
-    return sorted(leaf.seqs, key=repr)
+    """Deterministic ordering of a leaf's parallel action sequences.
+
+    Delegates to the leaf's own cached ordering — the splitter, the NetASM
+    compiler, and the evaluator all ask for it repeatedly per leaf.
+    """
+    return leaf.ordered_seqs()
 
 
 def leaf_groups(leaf: Leaf):

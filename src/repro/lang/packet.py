@@ -28,6 +28,9 @@ class Packet:
         self._hash = None
 
     def get(self, field: str):
+        # The data-plane fast path (dataplane/netasm.py lowered closures,
+        # Network._forward) reads self._fields.get(...) directly for speed;
+        # any semantics added here must be mirrored there.
         return self._fields.get(field)
 
     def __getitem__(self, field: str):

@@ -39,7 +39,7 @@ class IPPrefix:
     ordered (by network then length) so they can serve as xFDD test values.
     """
 
-    __slots__ = ("network", "length")
+    __slots__ = ("network", "length", "_hash")
 
     def __init__(self, text_or_network, length: int | None = None):
         if isinstance(text_or_network, str):
@@ -57,6 +57,9 @@ class IPPrefix:
             if not 0 <= self.length <= 32:
                 raise ValueError(f"bad prefix length {length}")
             self.network = int(text_or_network) & self.mask
+        # Prefixes end up inside xFDD test/cache keys that are hashed on
+        # every apply-cache lookup; compute the hash once.
+        self._hash = hash((self.network, self.length))
 
     @property
     def mask(self) -> int:
@@ -94,7 +97,7 @@ class IPPrefix:
         return (self.network, self.length) < (other.network, other.length)
 
     def __hash__(self):
-        return hash((self.network, self.length))
+        return self._hash
 
     def __repr__(self):
         return f"IPPrefix({str(self)!r})"

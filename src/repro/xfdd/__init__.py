@@ -8,8 +8,10 @@ from repro.xfdd.diagram import (
     DROP,
     IDENTITY,
     Branch,
+    DiagramFactory,
     Leaf,
     XFDD,
+    default_factory,
     evaluate,
     iter_leaves,
     iter_paths,
@@ -23,7 +25,8 @@ from repro.xfdd.tests import FieldFieldTest, FieldValueTest, StateVarTest
 __all__ = [
     "FieldAssign", "StateAssign", "StateDelta",
     "build_xfdd", "to_xfdd", "Composer", "Context", "EMPTY_CONTEXT",
-    "DROP", "IDENTITY", "Branch", "Leaf", "XFDD",
+    "DROP", "IDENTITY", "Branch", "DiagramFactory", "Leaf", "XFDD",
+    "default_factory",
     "evaluate", "iter_leaves", "iter_paths", "make_branch", "make_leaf",
     "size", "TestOrder", "trivial_order",
     "FieldFieldTest", "FieldValueTest", "StateVarTest",

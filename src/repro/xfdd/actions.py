@@ -68,11 +68,12 @@ DROP_ACTION = DropAction()
 class FieldAssign(Action):
     """``f <- v``."""
 
-    __slots__ = ("field", "value")
+    __slots__ = ("field", "value", "_hash")
 
     def __init__(self, field: str, value):
         object.__setattr__(self, "field", field)
         object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash(("FA", field, value)))
 
     def writes_state(self):
         return None
@@ -85,7 +86,7 @@ class FieldAssign(Action):
         )
 
     def __hash__(self):
-        return hash(("FA", self.field, self.value))
+        return self._hash
 
     def __repr__(self):
         return f"{self.field}<-{self.value}"
@@ -97,12 +98,13 @@ class FieldAssign(Action):
 class StateAssign(Action):
     """``s[e1] <- e2``."""
 
-    __slots__ = ("var", "index", "value")
+    __slots__ = ("var", "index", "value", "_hash")
 
     def __init__(self, var: str, index, value):
         object.__setattr__(self, "var", var)
         object.__setattr__(self, "index", flatten(index))
         object.__setattr__(self, "value", flatten(value))
+        object.__setattr__(self, "_hash", hash(("SA", var, self.index, self.value)))
 
     def writes_state(self):
         return self.var
@@ -116,7 +118,7 @@ class StateAssign(Action):
         )
 
     def __hash__(self):
-        return hash(("SA", self.var, self.index, self.value))
+        return self._hash
 
     def __repr__(self):
         idx = "][".join(str(e) for e in self.index)
@@ -130,12 +132,13 @@ class StateAssign(Action):
 class StateDelta(Action):
     """``s[e]++`` (delta=+1) or ``s[e]--`` (delta=-1)."""
 
-    __slots__ = ("var", "index", "delta")
+    __slots__ = ("var", "index", "delta", "_hash")
 
     def __init__(self, var: str, index, delta: int):
         object.__setattr__(self, "var", var)
         object.__setattr__(self, "index", flatten(index))
         object.__setattr__(self, "delta", delta)
+        object.__setattr__(self, "_hash", hash(("SD", var, self.index, delta)))
 
     def writes_state(self):
         return self.var
@@ -149,7 +152,7 @@ class StateDelta(Action):
         )
 
     def __hash__(self):
-        return hash(("SD", self.var, self.index, self.delta))
+        return self._hash
 
     def __repr__(self):
         idx = "][".join(str(e) for e in self.index)

@@ -20,22 +20,29 @@ from repro.lang.errors import SnapError
 from repro.lang.fields import DEFAULT_REGISTRY, FieldRegistry
 from repro.xfdd.actions import FieldAssign, StateAssign, StateDelta
 from repro.xfdd.compose import Composer
-from repro.xfdd.diagram import DROP, IDENTITY, XFDD, make_branch, make_leaf
+from repro.xfdd.diagram import DROP, IDENTITY, XFDD
 from repro.xfdd.order import TestOrder
 from repro.xfdd.tests import FieldValueTest, StateVarTest
 
 
 def to_xfdd(policy: ast.Policy, composer: Composer) -> XFDD:
-    """Translate a policy using the given composition engine."""
+    """Translate a policy using the given composition engine.
+
+    Nodes are built through ``composer.factory``, so the whole translation
+    lives in one hash-consing session.
+    """
+    factory = composer.factory
     if isinstance(policy, ast.Id):
         return IDENTITY
     if isinstance(policy, ast.Drop):
         return DROP
     if isinstance(policy, ast.Test):
-        return make_branch(FieldValueTest(policy.field, policy.value), IDENTITY, DROP)
+        return factory.branch(
+            FieldValueTest(policy.field, policy.value), IDENTITY, DROP
+        )
     if isinstance(policy, ast.StateTest):
         test = StateVarTest(policy.var, policy.index, policy.value)
-        return make_branch(test, IDENTITY, DROP)
+        return factory.branch(test, IDENTITY, DROP)
     if isinstance(policy, ast.Not):
         return composer.negate(to_xfdd(policy.pred, composer))
     if isinstance(policy, ast.And):
@@ -47,13 +54,13 @@ def to_xfdd(policy: ast.Policy, composer: Composer) -> XFDD:
             to_xfdd(policy.left, composer), to_xfdd(policy.right, composer)
         )
     if isinstance(policy, ast.Mod):
-        return make_leaf([(FieldAssign(policy.field, policy.value),)])
+        return factory.leaf([(FieldAssign(policy.field, policy.value),)])
     if isinstance(policy, ast.StateMod):
-        return make_leaf([(StateAssign(policy.var, policy.index, policy.value),)])
+        return factory.leaf([(StateAssign(policy.var, policy.index, policy.value),)])
     if isinstance(policy, ast.StateIncr):
-        return make_leaf([(StateDelta(policy.var, policy.index, +1),)])
+        return factory.leaf([(StateDelta(policy.var, policy.index, +1),)])
     if isinstance(policy, ast.StateDecr):
-        return make_leaf([(StateDelta(policy.var, policy.index, -1),)])
+        return factory.leaf([(StateDelta(policy.var, policy.index, -1),)])
     if isinstance(policy, ast.Parallel):
         return composer.union(
             to_xfdd(policy.left, composer), to_xfdd(policy.right, composer)

@@ -35,15 +35,15 @@ from repro.xfdd.actions import (
     field_map,
     state_ops_substituted,
 )
-from repro.xfdd.context import EMPTY_CONTEXT, Context
+from repro.xfdd.context import Context
 from repro.xfdd.diagram import (
     DROP,
     IDENTITY,
     Branch,
+    DiagramFactory,
     Leaf,
     XFDD,
-    make_branch,
-    make_leaf,
+    default_factory,
 )
 from repro.xfdd.order import TestOrder
 from repro.xfdd.tests import FieldFieldTest, FieldValueTest, StateVarTest, XTest
@@ -69,10 +69,57 @@ def _split_test(pair) -> XTest:
 
 
 class Composer:
-    """Stateless composition engine bound to one test order."""
+    """Composition engine bound to one test order and one node factory.
 
-    def __init__(self, order: TestOrder):
+    Beyond the structural recursion of Figures 7–8, the engine keeps an
+    *apply-cache* (in BDD terminology): results of ``union``, ``sequence``,
+    ``negate``, ``restrict``, and the Algorithm 1 action-sequence helper are
+    memoized keyed on ``(op, id(operands), ctx.cache_key())``.  Keying on
+    ``id()`` is sound because operands are hash-consed by ``self.factory``,
+    whose intern table pins them alive for the composer's lifetime, and
+    equal context keys decide every implication question identically.
+    Without this cache, structurally identical subproblems recur
+    exponentially often in deep compositions.
+
+    Pass ``use_cache=False`` for a reference engine that recomputes
+    everything; the property tests assert both produce the *same interned
+    nodes* when sharing a factory.
+    """
+
+    def __init__(
+        self,
+        order: TestOrder,
+        factory: DiagramFactory | None = None,
+        use_cache: bool = True,
+    ):
         self.order = order
+        self.factory = factory if factory is not None else default_factory()
+        self.factory.register_composer(self)
+        self.use_cache = use_cache
+        self._cache: dict = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        # Composer-scoped root: contexts memoize their children (see
+        # Context.add), so rooting each composition session in a private
+        # empty context keeps that memo tree from outliving the composer.
+        self.root_context = Context()
+
+    # -- apply-cache -------------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        """Hit/size counters, merged with the factory's intern counters."""
+        total = self.cache_hits + self.cache_misses
+        stats = {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_entries": len(self._cache),
+            "cache_hit_rate": self.cache_hits / total if total else 0.0,
+        }
+        stats.update(self.factory.stats())
+        return stats
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
 
     # -- refine (Figure 8) -------------------------------------------------
 
@@ -89,13 +136,29 @@ class Composer:
 
     # -- ⊕ union -----------------------------------------------------------
 
-    def union(self, d1: XFDD, d2: XFDD, ctx: Context = EMPTY_CONTEXT) -> XFDD:
+    def union(self, d1: XFDD, d2: XFDD, ctx: Context | None = None) -> XFDD:
+        if ctx is None:
+            ctx = self.root_context
+        if not self.use_cache:
+            return self._union(d1, d2, ctx)
+        key = ("u", id(d1), id(d2), ctx.cache_key())
+        cache = self._cache
+        hit = cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            return hit
+        self.cache_misses += 1
+        result = self._union(d1, d2, ctx)
+        cache[key] = result
+        return result
+
+    def _union(self, d1: XFDD, d2: XFDD, ctx: Context) -> XFDD:
         d1 = self.refine(d1, ctx)
         d2 = self.refine(d2, ctx)
         if d1 is d2:
             return d1
         if isinstance(d1, Leaf) and isinstance(d2, Leaf):
-            return make_leaf(d1.seqs | d2.seqs)
+            return self.factory.leaf(d1.seqs | d2.seqs)
         if isinstance(d1, Leaf):
             d1, d2 = d2, d1
         if isinstance(d2, Leaf):
@@ -103,20 +166,20 @@ class Composer:
             test = d1.test
             hi = self.union(d1.hi, d2, ctx.add(test, True))
             lo = self.union(d1.lo, d2, ctx.add(test, False))
-            return make_branch(test, hi, lo)
+            return self.factory.branch(test, hi, lo)
         key1 = self.order.key(d1.test)
         key2 = self.order.key(d2.test)
         if key1 == key2:
             test = d1.test
             hi = self.union(d1.hi, d2.hi, ctx.add(test, True))
             lo = self.union(d1.lo, d2.lo, ctx.add(test, False))
-            return make_branch(test, hi, lo)
+            return self.factory.branch(test, hi, lo)
         if key2 < key1:
             d1, d2 = d2, d1
         test = d1.test
         hi = self.union(d1.hi, d2, ctx.add(test, True))
         lo = self.union(d1.lo, d2, ctx.add(test, False))
-        return make_branch(test, hi, lo)
+        return self.factory.branch(test, hi, lo)
 
     def _check_read_write_race(self, branch: Branch, leaf: Leaf) -> None:
         conflict = leaf.written_state_vars() & branch.tested_state_vars()
@@ -129,6 +192,20 @@ class Composer:
     # -- ⊖ negation ----------------------------------------------------------
 
     def negate(self, d: XFDD) -> XFDD:
+        if not self.use_cache:
+            return self._negate(d)
+        key = ("n", id(d))
+        cache = self._cache
+        hit = cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            return hit
+        self.cache_misses += 1
+        result = self._negate(d)
+        cache[key] = result
+        return result
+
+    def _negate(self, d: XFDD) -> XFDD:
         if isinstance(d, Leaf):
             if d is DROP:
                 return IDENTITY
@@ -137,26 +214,37 @@ class Composer:
             raise CompileError(
                 f"negation applies only to predicates, found actions {d!r}"
             )
-        return make_branch(d.test, self.negate(d.hi), self.negate(d.lo))
+        return self.factory.branch(d.test, self.negate(d.hi), self.negate(d.lo))
 
     # -- restriction (Figure 7, d|t and d|~t) ---------------------------------
 
     def restrict(self, d: XFDD, test: XTest, positive: bool) -> XFDD:
+        if not self.use_cache:
+            return self._restrict(d, test, positive)
+        key = ("r", id(d), test, positive)
+        cache = self._cache
+        hit = cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            return hit
+        self.cache_misses += 1
+        result = self._restrict(d, test, positive)
+        cache[key] = result
+        return result
+
+    def _restrict(self, d: XFDD, test: XTest, positive: bool) -> XFDD:
+        branch = self.factory.branch
         if isinstance(d, Leaf):
             if d is DROP:
                 return DROP
-            return (
-                make_branch(test, d, DROP) if positive else make_branch(test, DROP, d)
-            )
+            return branch(test, d, DROP) if positive else branch(test, DROP, d)
         if d.test == test:
             if positive:
-                return make_branch(test, d.hi, DROP)
-            return make_branch(test, DROP, d.lo)
+                return branch(test, d.hi, DROP)
+            return branch(test, DROP, d.lo)
         if self.order.key(test) < self.order.key(d.test):
-            return (
-                make_branch(test, d, DROP) if positive else make_branch(test, DROP, d)
-            )
-        return make_branch(
+            return branch(test, d, DROP) if positive else branch(test, DROP, d)
+        return branch(
             d.test,
             self.restrict(d.hi, test, positive),
             self.restrict(d.lo, test, positive),
@@ -164,7 +252,23 @@ class Composer:
 
     # -- ⊙ sequencing ----------------------------------------------------------
 
-    def sequence(self, d1: XFDD, d2: XFDD, ctx: Context = EMPTY_CONTEXT) -> XFDD:
+    def sequence(self, d1: XFDD, d2: XFDD, ctx: Context | None = None) -> XFDD:
+        if ctx is None:
+            ctx = self.root_context
+        if not self.use_cache:
+            return self._sequence(d1, d2, ctx)
+        key = ("s", id(d1), id(d2), ctx.cache_key())
+        cache = self._cache
+        hit = cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            return hit
+        self.cache_misses += 1
+        result = self._sequence(d1, d2, ctx)
+        cache[key] = result
+        return result
+
+    def _sequence(self, d1: XFDD, d2: XFDD, ctx: Context) -> XFDD:
         d1 = self.refine(d1, ctx)
         if isinstance(d1, Leaf):
             return self._seq_leaf(d1, d2, ctx)
@@ -185,12 +289,26 @@ class Composer:
         return result
 
     def _seq_actions(self, seq: tuple, d: XFDD, ctx: Context) -> XFDD:
+        if not self.use_cache:
+            return self._seq_actions_impl(seq, d, ctx)
+        key = ("a", seq, id(d), ctx.cache_key())
+        cache = self._cache
+        hit = cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            return hit
+        self.cache_misses += 1
+        result = self._seq_actions_impl(seq, d, ctx)
+        cache[key] = result
+        return result
+
+    def _seq_actions_impl(self, seq: tuple, d: XFDD, ctx: Context) -> XFDD:
         """Algorithm 1 (Appendix E): compose an action sequence with ``d``."""
         if seq and isinstance(seq[-1], DropAction):
             # The left sequence already dropped the packet; d never runs.
-            return make_leaf({seq})
+            return self.factory.leaf({seq})
         if isinstance(d, Leaf):
-            return make_leaf({seq + rest for rest in d.seqs})
+            return self.factory.leaf({seq + rest for rest in d.seqs})
         fmap = field_map(seq)
         post = ctx.with_assignments(fmap)
         test = d.test
@@ -210,7 +328,7 @@ class Composer:
         # literal, hence decidable), so the test reads the original packet.
         hi = self._seq_actions(seq, d.hi, ctx.add(test, True))
         lo = self._seq_actions(seq, d.lo, ctx.add(test, False))
-        return make_branch(test, hi, lo)
+        return self.factory.branch(test, hi, lo)
 
     def _seq_ff(self, seq, d, ctx, post, test: FieldFieldTest) -> XFDD:
         verdict = post.implies(test)
@@ -228,7 +346,7 @@ class Composer:
         ) else test
         hi = self._seq_actions(seq, d.hi, ctx.add(emitted, True))
         lo = self._seq_actions(seq, d.lo, ctx.add(emitted, False))
-        return make_branch(emitted, hi, lo)
+        return self.factory.branch(emitted, hi, lo)
 
     def _seq_state(self, seq, d, ctx, post, test: StateVarTest) -> XFDD:
         """State-test case of Algorithm 1, extended with increment folding.
@@ -300,10 +418,10 @@ class Composer:
             return self._seq_actions(seq, d.lo, ctx)
         hi = self._seq_actions(seq, d.hi, ctx.add(emitted, True))
         lo = self._seq_actions(seq, d.lo, ctx.add(emitted, False))
-        return make_branch(emitted, hi, lo)
+        return self.factory.branch(emitted, hi, lo)
 
     def _split(self, seq, d, ctx, test: XTest) -> XFDD:
         """The ``(test ? d : d)`` trick: split, then retry with more context."""
         hi = self._seq_actions(seq, d, ctx.add(test, True))
         lo = self._seq_actions(seq, d, ctx.add(test, False))
-        return make_branch(test, hi, lo)
+        return self.factory.branch(test, hi, lo)

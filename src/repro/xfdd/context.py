@@ -25,8 +25,42 @@ from repro.util.ipaddr import IPPrefix
 from repro.xfdd.tests import FieldFieldTest, FieldValueTest, StateVarTest, XTest
 
 
+class _ContextKey:
+    """A context's cache key with its hash computed exactly once.
+
+    Apply-cache lookups hash the key on every probe; precomputing keeps a
+    probe O(1) instead of re-hashing the full constraint tuple (which may
+    contain IP prefixes, vectors, ...).
+    """
+
+    __slots__ = ("parts", "_hash")
+
+    def __init__(self, parts: tuple):
+        self.parts = parts
+        self._hash = hash(parts)
+
+    def __hash__(self):
+        return self._hash
+
+    def __eq__(self, other):
+        return self is other or (
+            isinstance(other, _ContextKey) and self.parts == other.parts
+        )
+
+    def __repr__(self):
+        return f"_ContextKey({self.parts!r})"
+
+
+#: Per-context cap on memoized ``add``/``with_assignments`` children; above
+#: this a context simply stops deduplicating (correctness is unaffected).
+_CHILD_MEMO_LIMIT = 1024
+
+
 class Context:
-    __slots__ = ("exact", "pos", "neg", "eq_pairs", "neq_pairs", "state")
+    __slots__ = (
+        "exact", "pos", "neg", "eq_pairs", "neq_pairs", "state",
+        "_key", "_implies_memo", "_children",
+    )
 
     def __init__(
         self,
@@ -43,6 +77,31 @@ class Context:
         self.eq_pairs = frozenset(eq_pairs)
         self.neq_pairs = frozenset(neq_pairs)
         self.state = tuple(state)
+        self._key = None
+        self._implies_memo: dict = {}
+        self._children: dict = {}
+
+    def cache_key(self) -> _ContextKey:
+        """A stable, hashable key capturing the full logical content.
+
+        Two contexts with equal keys decide every ``implies``/``resolve``
+        question identically, so composition results may be shared between
+        them — this is what the :class:`~repro.xfdd.compose.Composer`
+        apply-caches key on.  Computed once per context (contexts are
+        immutable).
+        """
+        key = self._key
+        if key is None:
+            key = _ContextKey((
+                tuple(sorted(self.exact.items(), key=lambda kv: kv[0])),
+                tuple(sorted(self.pos.items(), key=lambda kv: kv[0])),
+                tuple(sorted(self.neg.items(), key=lambda kv: kv[0])),
+                self.eq_pairs,
+                self.neq_pairs,
+                self.state,
+            ))
+            self._key = key
+        return key
 
     # -- equality classes over fields --------------------------------------
 
@@ -180,18 +239,45 @@ class Context:
         return None
 
     def implies(self, test: XTest):
-        """True/False when the path decides the test; None otherwise."""
+        """True/False when the path decides the test; None otherwise.
+
+        Memoized per context: ``refine`` asks the same questions of the
+        same (immutable) context many times while walking sibling subtrees.
+        """
+        memo = self._implies_memo
+        if test in memo:
+            return memo[test]
         if isinstance(test, FieldValueTest):
-            return self._implies_fv(test.field, test.value)
-        if isinstance(test, FieldFieldTest):
-            return self._implies_ff(test.field1, test.field2)
-        if isinstance(test, StateVarTest):
-            return self._implies_state(test)
-        raise SnapError(f"cannot reason about test {test!r}")
+            verdict = self._implies_fv(test.field, test.value)
+        elif isinstance(test, FieldFieldTest):
+            verdict = self._implies_ff(test.field1, test.field2)
+        elif isinstance(test, StateVarTest):
+            verdict = self._implies_state(test)
+        else:
+            raise SnapError(f"cannot reason about test {test!r}")
+        memo[test] = verdict
+        return verdict
 
     # -- extension -----------------------------------------------------------
 
     def add(self, test: XTest, result: bool) -> "Context":
+        """Extend the context with a test outcome.
+
+        Children are memoized per parent: composition descends into the
+        same ``(test, result)`` extension of the same context many times
+        (sibling subtrees, repeated apply-cache probes), and returning the
+        cached child also returns its warm ``implies`` memo and cache key.
+        """
+        memo_key = (test, result)
+        child = self._children.get(memo_key)
+        if child is not None:
+            return child
+        child = self._extend(test, result)
+        if len(self._children) < _CHILD_MEMO_LIMIT:
+            self._children[memo_key] = child
+        return child
+
+    def _extend(self, test: XTest, result: bool) -> "Context":
         exact = dict(self.exact)
         pos = {k: v for k, v in self.pos.items()}
         neg = {k: v for k, v in self.neg.items()}
@@ -231,6 +317,16 @@ class Context:
         """
         if not fmap:
             return self
+        memo_key = ("assign", tuple(sorted(fmap.items(), key=lambda kv: kv[0])))
+        child = self._children.get(memo_key)
+        if child is not None:
+            return child
+        child = self._with_assignments(fmap)
+        if len(self._children) < _CHILD_MEMO_LIMIT:
+            self._children[memo_key] = child
+        return child
+
+    def _with_assignments(self, fmap: dict) -> "Context":
         assigned = set(fmap)
         exact = {f: v for f, v in self.exact.items() if f not in assigned}
         exact.update(fmap)

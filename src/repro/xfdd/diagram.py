@@ -13,6 +13,8 @@ the same state variable."
 
 from __future__ import annotations
 
+import weakref
+
 from repro.lang.errors import RaceConditionError, SnapError
 from repro.lang import ast
 from repro.lang.packet import Packet
@@ -44,7 +46,7 @@ class XFDD:
 class Leaf(XFDD):
     """A set of parallel action sequences."""
 
-    __slots__ = ("seqs",)
+    __slots__ = ("seqs", "_ordered")
 
     def __init__(self, seqs: frozenset):
         object.__setattr__(self, "seqs", seqs)
@@ -54,12 +56,21 @@ class Leaf(XFDD):
             written |= seq_written_vars(seq)
         object.__setattr__(self, "_written_vars", written)
         object.__setattr__(self, "_size", 1)
+        object.__setattr__(self, "_ordered", None)
 
     def tested_state_vars(self):
         return self._tested_vars
 
     def written_state_vars(self):
         return self._written_vars
+
+    def ordered_seqs(self) -> tuple:
+        """The sequences in deterministic order, computed once per leaf."""
+        ordered = self._ordered
+        if ordered is None:
+            ordered = tuple(sorted(self.seqs, key=repr))
+            object.__setattr__(self, "_ordered", ordered)
+        return ordered
 
     def __setattr__(self, *a):
         raise AttributeError("immutable")
@@ -102,9 +113,6 @@ class Branch(XFDD):
 
     def __repr__(self):
         return f"({self.test!r} ? {self.hi!r} : {self.lo!r})"
-
-
-_INTERN: dict = {}
 
 
 def _common_prefix_len(a: tuple, b: tuple) -> int:
@@ -153,38 +161,143 @@ def _normalize_seq(seq: tuple) -> tuple:
     return tuple(out)
 
 
-def make_leaf(seqs) -> Leaf:
-    """Interned leaf constructor with normalization and race validation.
+class DiagramFactory:
+    """Session-scoped hash-consing table for xFDD nodes.
 
-    Normalization: ``(drop,)`` alone denotes the drop leaf; alongside other
-    sequences it is redundant (a parallel branch that does nothing) and is
-    removed.  The empty set is canonicalized to ``{(drop,)}``.
+    Nodes built by one factory are interned in its table, so structurally
+    equal diagrams are the same object *within* that factory's session.
+    Branch intern keys reference child nodes by ``id()``; this is sound
+    because every interned node is pinned by the table itself (a Branch
+    holds strong references to its children, and the table holds the
+    Branch), so an id can never be recycled while the factory is alive.
+    The flip side: ``clear()`` invalidates every diagram the factory has
+    produced — do not mix nodes from before and after a ``clear()``, and
+    do not mix nodes from two different factories (the global ``DROP`` /
+    ``IDENTITY`` singletons, pre-seeded into every factory, are the one
+    sanctioned exception).
+
+    The compiler creates one factory per compilation, which bounds intern
+    table growth to a single compilation's working set (the old module
+    global grew unboundedly across compilations and could only have been
+    cleared at the cost of the id-aliasing hazard above).
     """
-    normalized = {_normalize_seq(tuple(seq)) for seq in seqs}
-    if len(normalized) > 1:
-        normalized.discard((DROP_ACTION,))
-    if not normalized:
-        normalized = {(DROP_ACTION,)}
-    seqs = frozenset(normalized)
-    key = ("leaf", seqs)
-    node = _INTERN.get(key)
-    if node is None:
-        _check_leaf_races(seqs)
-        node = Leaf(seqs)
-        _INTERN[key] = node
-    return node
+
+    __slots__ = ("_intern", "leaf_hits", "leaf_misses", "branch_hits",
+                 "branch_misses", "_composers", "__weakref__")
+
+    def __init__(self):
+        self._intern: dict = {}
+        self.leaf_hits = 0
+        self.leaf_misses = 0
+        self.branch_hits = 0
+        self.branch_misses = 0
+        # Composers bound to this factory; their id()-keyed apply-caches
+        # are only sound while the intern table pins the ids, so clear()
+        # must invalidate them too.
+        self._composers: weakref.WeakSet = weakref.WeakSet()
+        self._seed()
+
+    def _seed(self) -> None:
+        # Share the canonical predicate leaves across factories so the
+        # pervasive ``d is DROP`` / ``d is IDENTITY`` checks stay valid.
+        if DROP is not None:
+            self._intern[("leaf", DROP.seqs)] = DROP
+            self._intern[("leaf", IDENTITY.seqs)] = IDENTITY
+
+    def leaf(self, seqs) -> Leaf:
+        """Interned leaf constructor with normalization and race validation.
+
+        Normalization: ``(drop,)`` alone denotes the drop leaf; alongside
+        other sequences it is redundant (a parallel branch that does
+        nothing) and is removed.  The empty set is canonicalized to
+        ``{(drop,)}``.
+        """
+        normalized = {_normalize_seq(tuple(seq)) for seq in seqs}
+        if len(normalized) > 1:
+            normalized.discard((DROP_ACTION,))
+        if not normalized:
+            normalized = {(DROP_ACTION,)}
+        seqs = frozenset(normalized)
+        key = ("leaf", seqs)
+        node = self._intern.get(key)
+        if node is None:
+            self.leaf_misses += 1
+            _check_leaf_races(seqs)
+            node = Leaf(seqs)
+            self._intern[key] = node
+        else:
+            self.leaf_hits += 1
+        return node
+
+    def branch(self, test: XTest, hi: XFDD, lo: XFDD) -> XFDD:
+        """Interned branch constructor; collapses ``(t ? d : d)`` to ``d``."""
+        if hi is lo:
+            return hi
+        key = ("branch", test, id(hi), id(lo))
+        node = self._intern.get(key)
+        if node is None:
+            self.branch_misses += 1
+            node = Branch(test, hi, lo)
+            self._intern[key] = node
+        else:
+            self.branch_hits += 1
+        return node
+
+    def register_composer(self, composer) -> None:
+        """Track a composer whose apply-cache keys on this factory's ids."""
+        self._composers.add(composer)
+
+    def clear(self) -> None:
+        """Drop every interned node (keeps the DROP/IDENTITY singletons).
+
+        Diagrams built before the clear must not be composed with diagrams
+        built after it — see the class docstring.  Apply-caches of
+        composers bound to this factory are invalidated along with the
+        table: their id()-based keys could otherwise alias nodes built
+        after the clear.
+        """
+        self._intern.clear()
+        for composer in self._composers:
+            composer.clear_cache()
+        self._seed()
+
+    def stats(self) -> dict:
+        return {
+            "intern_size": len(self._intern),
+            "leaf_hits": self.leaf_hits,
+            "leaf_misses": self.leaf_misses,
+            "branch_hits": self.branch_hits,
+            "branch_misses": self.branch_misses,
+        }
+
+    def __len__(self) -> int:
+        return len(self._intern)
+
+
+# Bootstrap: the default factory exists before DROP/IDENTITY, so _seed()
+# skips them on this first construction; they are interned normally below.
+DROP = None
+IDENTITY = None
+_DEFAULT_FACTORY = DiagramFactory()
+
+
+def default_factory() -> DiagramFactory:
+    """The module-wide factory behind :func:`make_leaf`/:func:`make_branch`.
+
+    Tests and ad-hoc construction go through this shared table; the
+    compiler scopes a fresh :class:`DiagramFactory` to each compilation.
+    """
+    return _DEFAULT_FACTORY
+
+
+def make_leaf(seqs) -> Leaf:
+    """Interned leaf constructor on the default factory."""
+    return _DEFAULT_FACTORY.leaf(seqs)
 
 
 def make_branch(test: XTest, hi: XFDD, lo: XFDD) -> XFDD:
-    """Interned branch constructor; collapses ``(t ? d : d)`` to ``d``."""
-    if hi is lo:
-        return hi
-    key = ("branch", test, id(hi), id(lo))
-    node = _INTERN.get(key)
-    if node is None:
-        node = Branch(test, hi, lo)
-        _INTERN[key] = node
-    return node
+    """Interned branch constructor on the default factory."""
+    return _DEFAULT_FACTORY.branch(test, hi, lo)
 
 
 DROP: Leaf = make_leaf([(DROP_ACTION,)])
@@ -283,7 +396,7 @@ def apply_leaf(leaf: Leaf, packet: Packet, store: Store) -> list:
             if next_pkt is not None:
                 run(groups[action], next_pkt)
 
-    run(sorted(leaf.seqs, key=repr), packet)
+    run(leaf.ordered_seqs(), packet)
     return outputs
 
 

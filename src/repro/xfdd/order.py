@@ -27,6 +27,7 @@ class TestOrder:
     def __init__(self, registry: FieldRegistry | None = None, state_rank: dict | None = None):
         self.registry = registry or DEFAULT_REGISTRY
         self.state_rank = dict(state_rank or {})
+        self._key_memo: dict = {}
 
     def _field_rank(self, name: str) -> tuple:
         if name in self.registry:
@@ -40,6 +41,16 @@ class TestOrder:
         return (1, 0, var)
 
     def key(self, test: XTest) -> tuple:
+        """Memoized per test object: composition compares the same few
+        interned tests millions of times in deep recursions."""
+        memo = self._key_memo
+        key = memo.get(test)
+        if key is None:
+            key = self._key(test)
+            memo[test] = key
+        return key
+
+    def _key(self, test: XTest) -> tuple:
         if isinstance(test, FieldValueTest):
             return (0, self._field_rank(test.field), value_sort_key(test.value))
         if isinstance(test, FieldFieldTest):

@@ -47,11 +47,12 @@ class XTest:
 class FieldValueTest(XTest):
     """``f = v`` — the packet's field ``f`` matches value ``v``."""
 
-    __slots__ = ("field", "value")
+    __slots__ = ("field", "value", "_hash")
 
     def __init__(self, field: str, value):
         object.__setattr__(self, "field", field)
         object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash(("FV", field, value)))
 
     def __eq__(self, other):
         return (
@@ -61,7 +62,7 @@ class FieldValueTest(XTest):
         )
 
     def __hash__(self):
-        return hash(("FV", self.field, self.value))
+        return self._hash
 
     def __repr__(self):
         return f"{self.field}={self.value}"
@@ -77,7 +78,7 @@ class FieldFieldTest(XTest):
     symmetric.
     """
 
-    __slots__ = ("field1", "field2")
+    __slots__ = ("field1", "field2", "_hash")
 
     def __init__(self, field1: str, field2: str):
         if field1 == field2:
@@ -86,6 +87,7 @@ class FieldFieldTest(XTest):
             field1, field2 = field2, field1
         object.__setattr__(self, "field1", field1)
         object.__setattr__(self, "field2", field2)
+        object.__setattr__(self, "_hash", hash(("FF", field1, field2)))
 
     def __eq__(self, other):
         return (
@@ -95,7 +97,7 @@ class FieldFieldTest(XTest):
         )
 
     def __hash__(self):
-        return hash(("FF", self.field1, self.field2))
+        return self._hash
 
     def __repr__(self):
         return f"{self.field1}={self.field2}"
@@ -107,12 +109,13 @@ class FieldFieldTest(XTest):
 class StateVarTest(XTest):
     """``s[e1] = e2`` — state variable ``s`` at index ``e1`` equals ``e2``."""
 
-    __slots__ = ("var", "index", "value")
+    __slots__ = ("var", "index", "value", "_hash")
 
     def __init__(self, var: str, index, value):
         object.__setattr__(self, "var", var)
         object.__setattr__(self, "index", flatten(index))
         object.__setattr__(self, "value", flatten(value))
+        object.__setattr__(self, "_hash", hash(("ST", var, self.index, self.value)))
 
     def __eq__(self, other):
         return (
@@ -123,7 +126,7 @@ class StateVarTest(XTest):
         )
 
     def __hash__(self):
-        return hash(("ST", self.var, self.index, self.value))
+        return self._hash
 
     def __repr__(self):
         idx = "][".join(str(e) for e in self.index)

@@ -1,0 +1,150 @@
+"""The apply-cache and factory scoping of the composition engine.
+
+Two guarantees:
+
+* caching is *invisible*: a cached Composer and a cache-disabled reference
+  Composer sharing one DiagramFactory produce the **same interned node**
+  (``is``-identity) for every generated policy;
+* hash-consing sessions are *isolated*: one compilation cannot grow (or
+  alias into) the intern table of another.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.apps.chimera import dns_tunnel_detect
+from repro.apps.routing import assign_egress, default_subnets, port_assumption
+from repro.core.pipeline import Compiler
+from repro.core.program import Program
+from repro.lang import ast
+from repro.lang.errors import CompileError, RaceConditionError
+from repro.topology.campus import campus_topology
+from repro.xfdd.actions import FieldAssign
+from repro.xfdd.build import to_xfdd
+from repro.xfdd.compose import Composer
+from repro.xfdd.diagram import DROP, IDENTITY, DiagramFactory, default_factory
+from repro.xfdd.order import TestOrder as XFDDTestOrder
+
+from tests.strategies import policies, registry
+
+SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def _order():
+    return XFDDTestOrder(registry(), {"sA": 0, "sB": 1})
+
+
+def _campus_program():
+    subnets = default_subnets(6)
+    app = dns_tunnel_detect()
+    return Program(
+        ast.Seq(app.policy, assign_egress(subnets)),
+        assumption=port_assumption(subnets),
+        state_defaults=app.state_defaults,
+        name=f"{app.name}+egress",
+    )
+
+
+class TestCacheEquivalence:
+    @SETTINGS
+    @given(policies())
+    def test_cached_composition_is_node_identical(self, policy):
+        """Cached and reference composition agree to the node (``is``)."""
+        factory = DiagramFactory()
+        cached = Composer(_order(), factory=factory, use_cache=True)
+        reference = Composer(_order(), factory=factory, use_cache=False)
+        try:
+            d_ref = to_xfdd(policy, reference)
+        except (RaceConditionError, CompileError):
+            return
+        d_cached = to_xfdd(policy, cached)
+        assert d_cached is d_ref
+
+    @SETTINGS
+    @given(policies(), policies())
+    def test_cached_union_and_sequence_identical(self, p, q):
+        factory = DiagramFactory()
+        cached = Composer(_order(), factory=factory, use_cache=True)
+        reference = Composer(_order(), factory=factory, use_cache=False)
+        try:
+            dp_ref, dq_ref = to_xfdd(p, reference), to_xfdd(q, reference)
+            u_ref = reference.union(dp_ref, dq_ref)
+            s_ref = reference.sequence(dp_ref, dq_ref)
+        except (RaceConditionError, CompileError):
+            return
+        dp, dq = to_xfdd(p, cached), to_xfdd(q, cached)
+        assert dp is dp_ref and dq is dq_ref
+        assert cached.union(dp, dq) is u_ref
+        assert cached.sequence(dp, dq) is s_ref
+
+    def test_cache_counters_advance(self):
+        factory = DiagramFactory()
+        comp = Composer(_order(), factory=factory)
+        policy = ast.Seq(
+            ast.Parallel(ast.Test("fa", 1), ast.Test("fb", 2)),
+            ast.Parallel(ast.Mod("fc", 3), ast.Test("fa", 1)),
+        )
+        to_xfdd(policy, comp)
+        stats = comp.cache_stats()
+        assert stats["cache_misses"] > 0
+        assert stats["cache_entries"] == stats["cache_misses"]
+        assert stats["intern_size"] == len(factory)
+
+
+class TestFactoryScoping:
+    def test_singletons_shared_across_factories(self):
+        f1, f2 = DiagramFactory(), DiagramFactory()
+        assert f1.leaf([()]) is IDENTITY
+        assert f2.leaf([()]) is IDENTITY
+        assert f1.leaf([]) is DROP is f2.leaf([])
+
+    def test_clear_keeps_singletons(self):
+        factory = DiagramFactory()
+        factory.leaf([(FieldAssign("fa", 1),)])
+        assert len(factory) > 2
+        factory.clear()
+        assert len(factory) == 2
+        assert factory.leaf([()]) is IDENTITY
+
+    def test_clear_invalidates_bound_composer_caches(self):
+        """factory.clear() must flush id()-keyed apply-caches, or recycled
+        node addresses could alias stale entries."""
+        factory = DiagramFactory()
+        comp = Composer(_order(), factory=factory)
+        policy = ast.Seq(ast.Test("fa", 1), ast.Mod("fb", 2))
+        to_xfdd(policy, comp)
+        assert comp.cache_stats()["cache_entries"] > 0
+        factory.clear()
+        assert comp.cache_stats()["cache_entries"] == 0
+        # The composer keeps working against the cleared factory.
+        d = to_xfdd(policy, comp)
+        assert d is to_xfdd(policy, comp)
+
+    def test_default_factory_backs_module_constructors(self):
+        from repro.xfdd.diagram import make_leaf
+
+        before = len(default_factory())
+        assert make_leaf([()]) is IDENTITY
+        assert len(default_factory()) == before
+
+    def test_second_compilation_does_not_grow_first_intern_table(self):
+        """Back-to-back Compiler runs use disjoint hash-consing sessions."""
+        topology = campus_topology()
+        first = Compiler(topology, _campus_program()).cold_start()
+        factory_one = first.diagram_factory
+        assert factory_one is not None
+        size_one = len(factory_one)
+        assert size_one > 2  # it actually interned this program's nodes
+        second = Compiler(topology, _campus_program()).cold_start()
+        assert len(factory_one) == size_one
+        assert second.diagram_factory is not factory_one
+        assert len(second.diagram_factory) == size_one  # same program, same table
+
+    def test_compilation_exposes_cache_stats(self):
+        result = Compiler(campus_topology(), _campus_program()).cold_start()
+        assert result.model_stats["xfdd_cache_hits"] > 0
+        assert result.model_stats["xfdd_cache_misses"] > 0
+        assert result.model_stats["xfdd_intern_size"] == len(result.diagram_factory)
