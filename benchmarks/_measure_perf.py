@@ -9,7 +9,7 @@ import time
 
 sys.path.insert(0, "benchmarks")
 
-from repro.core.pipeline import Compiler
+from repro.core.controller import SnapController
 from repro.topology.igen import igen_topology
 from repro.util.timer import PhaseTimer
 
@@ -20,11 +20,11 @@ label = sys.argv[1] if len(sys.argv) > 1 else "run"
 # -- analysis time (P1+P2+P3) at 120 switches ------------------------------
 topology = igen_topology(120, num_ports=DEFAULT_PORTS, seed=0)
 program = dns_tunnel_program(DEFAULT_PORTS)
-compiler = Compiler(topology, program)
+controller = SnapController(topology, program)
 best = float("inf")
 for _ in range(7):
     timer = PhaseTimer()
-    compiler._analysis_phases(program, timer)
+    controller._analysis(program, topology, timer)
     best = min(best, timer.total(("P1", "P2", "P3")))
 print(f"[{label}] analysis P1+P2+P3 @120sw (best of 7): {best * 1000:.1f}ms")
 
@@ -48,7 +48,7 @@ prog = Program(
     state_defaults=app.state_defaults,
     name=app.name,
 )
-result = Compiler(campus_topology(), prog).cold_start()
+result = SnapController(campus_topology(), prog).submit()
 trace = background_traffic(SUBNETS, count=400, seed=7)
 best = float("inf")
 for _ in range(7):

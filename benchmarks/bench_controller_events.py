@@ -1,0 +1,118 @@
+"""Controller event-sequence throughput (the Table 4 scenarios, live).
+
+Drives one long-lived :class:`SnapController` session through a cold
+start followed by alternating policy and topology/TM events — the
+steady-state workload of a production controller — and reports per-event
+latency plus aggregate events/s.  Verifies along the way that the
+standing TE model really is built once per placement (§6.2.2) and that
+every snapshot's generation advances.
+
+Results are merged into ``BENCH_xfdd.json`` under ``controller_events``
+so the trajectory is tracked next to the composition-engine numbers.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.apps.chimera import dns_tunnel_detect
+from repro.apps.fast import stateful_firewall
+from repro.core.controller import SnapController
+from repro.topology.campus import campus_topology
+
+from workloads import dns_tunnel_program, print_table
+
+_JSON_PATH = Path(__file__).parent / "BENCH_xfdd.json"
+
+#: (label, event callable) — the repeating post-cold-start event mix.
+NUM_PORTS = 6
+EVENT_ROUNDS = 5
+
+
+def _alt_program():
+    from repro.apps.routing import assign_egress, default_subnets, port_assumption
+    from repro.core.program import Program
+    from repro.lang import ast
+
+    subnets = default_subnets(NUM_PORTS)
+    app = stateful_firewall()
+    return Program(
+        ast.Seq(app.policy, assign_egress(subnets)),
+        assumption=port_assumption(subnets),
+        state_defaults=app.state_defaults,
+        name=f"{app.name}+egress",
+    )
+
+
+def test_event_sequence_throughput(benchmark):
+    # Unbounded history: the run asserts over every generation produced.
+    controller = SnapController(
+        campus_topology(), dns_tunnel_program(NUM_PORTS), history_limit=None
+    )
+    alt = _alt_program()
+    base = dns_tunnel_program(NUM_PORTS)
+    durations: dict[str, list] = {}
+
+    def timed(label, fn):
+        t0 = time.perf_counter()
+        snapshot = fn()
+        durations.setdefault(label, []).append(time.perf_counter() - t0)
+        return snapshot
+
+    def run():
+        timed("cold_start", controller.submit)
+        for round_ in range(EVENT_ROUNDS):
+            timed("fail_link", lambda: controller.fail_link("C1", "C5"))
+            timed("restore_link", lambda: controller.restore_link("C1", "C5"))
+            timed("set_demands", lambda: controller.set_demands(
+                {k: v * (1.0 + 0.1 * (round_ + 1))
+                 for k, v in controller.demands.items()}
+            ))
+            timed("update_policy", lambda: controller.update_policy(
+                alt if round_ % 2 == 0 else base
+            ))
+        return controller
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    events = 1 + 4 * EVENT_ROUNDS
+    total = sum(sum(times) for times in durations.values())
+    generations = [s.generation for s in controller.history()]
+    assert generations == list(range(events))
+    # One standing-model build per placement epoch that sees a TE event:
+    # the three TE events of a round share a single build, re-built only
+    # after the round's policy change invalidates it.
+    calls = dict(controller.backend.calls)
+    assert calls["te_model_builds"] == EVENT_ROUNDS
+    assert calls["te_solves"] == 3 * EVENT_ROUNDS
+
+    rows = []
+    summary = {}
+    for label, times in durations.items():
+        mean_ms = sum(times) / len(times) * 1000
+        rows.append((label, len(times), f"{mean_ms:.1f}ms",
+                     f"{min(times) * 1000:.1f}ms"))
+        summary[label] = {
+            "count": len(times),
+            "mean_ms": round(mean_ms, 3),
+            "best_ms": round(min(times) * 1000, 3),
+        }
+    print_table(
+        "SnapController event sequence (campus, dns-tunnel + firewall)",
+        ("event", "count", "mean", "best"),
+        rows,
+    )
+    throughput = events / total
+    print(f"\n{events} events in {total:.2f}s = {throughput:.1f} events/s "
+          f"(standing TE model builds: {calls['te_model_builds']}, "
+          f"re-solves: {calls['te_solves']})")
+
+    data = json.loads(_JSON_PATH.read_text()) if _JSON_PATH.exists() else {}
+    data["controller_events"] = {
+        "events": events,
+        "total_s": round(total, 4),
+        "events_per_s": round(throughput, 2),
+        "backend_calls": calls,
+        "per_event": summary,
+    }
+    _JSON_PATH.write_text(json.dumps(data, indent=2) + "\n")

@@ -98,6 +98,9 @@ def test_zz_report(benchmark):
             for row in _RESULTS
         ],
     )
-    _JSON_PATH.write_text(json.dumps({"apps": _RESULTS}, indent=2) + "\n")
+    # Merge: other benches (e.g. bench_controller_events) own other keys.
+    data = json.loads(_JSON_PATH.read_text()) if _JSON_PATH.exists() else {}
+    data["apps"] = _RESULTS
+    _JSON_PATH.write_text(json.dumps(data, indent=2) + "\n")
     # The engine must be caching *something* on every app.
     assert all(row["hit_rate"] > 0 for row in _RESULTS)

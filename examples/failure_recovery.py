@@ -1,18 +1,18 @@
 #!/usr/bin/env python3
-"""Failure recovery with the TE LP (§6.2 "Topology/TM Changes").
+"""Failure recovery as controller events (§6.2 "Topology/TM Changes").
 
-After cold start, a core link fails.  Instead of re-solving the joint
-placement problem, the compiler keeps the state placement fixed and
-re-runs only the (much faster) TE routing LP — the P5-TE + P6 path of
-Table 4.  The example shows the rerouted paths still respect every state
-constraint, and compares ST vs TE solve times.
+A long-lived ``SnapController`` session handles a stream of network
+events.  After the cold start, a core link fails: instead of re-solving
+the joint placement problem, the session patches its *standing* TE model
+(failed link pinned to zero, §6.2.2) and re-solves only the routing LP —
+the P5-TE + P6 path of Table 4.  Each event yields an immutable,
+generation-numbered snapshot; the rerouted paths still respect every
+state constraint.
 
 Run:  python examples/failure_recovery.py
 """
 
-
-
-from repro import Compiler, Program, campus_topology
+from repro import Program, SnapController, campus_topology
 from repro.apps import assign_egress, default_subnets, dns_tunnel_detect, port_assumption
 from repro.lang import ast
 from repro.milp.results import validate_solution
@@ -27,41 +27,53 @@ def main():
         state_defaults=detect.state_defaults,
         name="dns-tunnel+egress",
     )
-    topology = campus_topology()
-    compiler = Compiler(topology, program)
+    controller = SnapController(campus_topology(), program)
 
-    cold = compiler.cold_start()
+    cold = controller.submit()
     st_time = cold.timer.durations["P5"]
-    print("== Cold start ==")
-    print(f"placement: {cold.placement}")
+    print("== Cold start (generation 0) ==")
+    print(f"placement: {dict(cold.placement)}")
     print(f"path 1->6: {' -> '.join(cold.routing.path(1, 6))}")
     print(f"ST solve:  {st_time * 1000:.1f} ms")
 
-    print("\n== Link C1-C5 fails (incremental model patch, §6.2.2) ==")
-    recovered = compiler.topology_change(failed_links=[("C1", "C5")])
+    print("\n== Event: link C1-C5 fails (standing model patched, §6.2.2) ==")
+    recovered = controller.fail_link("C1", "C5")
     te_time = recovered.timer.durations["P5"]
+    print(f"snapshot:  generation {recovered.generation}, "
+          f"event {recovered.event!r}")
     print(f"TE re-optimization: {te_time * 1000:.1f} ms "
           f"(placement untouched: {recovered.placement == cold.placement})")
     new_path = recovered.routing.path(1, 6)
     print(f"new path 1->6: {' -> '.join(new_path)}")
     assert ("C1", "C5") not in list(zip(new_path, new_path[1:]))
-    validate_solution(recovered.routing, topology.without_link("C1", "C5"),
+    # The snapshot's topology IS the degraded one the solve ran against.
+    validate_solution(recovered.routing, recovered.topology,
                       recovered.mapping, recovered.dependencies)
     print("state-ordering constraints still hold on every installed path.")
 
-    print("\n== Link repaired (same standing model, links restored) ==")
-    repaired = compiler.topology_change(failed_links=[])
+    print("\n== Event: link repaired (same standing model, link restored) ==")
+    repaired = controller.restore_link("C1", "C5")
     print(f"path 1->6 back to: {' -> '.join(repaired.routing.path(1, 6))} "
-          f"in {repaired.timer.durations['P5'] * 1000:.1f} ms")
+          f"in {repaired.timer.durations['P5'] * 1000:.1f} ms "
+          f"(generation {repaired.generation})")
 
-    print("\n== Traffic shift (hotspot toward port 6) ==")
-    demands = dict(compiler.demands)
+    print("\n== Event: traffic shift (hotspot toward port 6) ==")
+    demands = dict(controller.demands)
     for u in range(1, 6):
         demands[(u, 6)] = demands.get((u, 6), 0.0) * 5
-    shifted = compiler.topology_change(new_demands=demands)
+    shifted = controller.set_demands(demands)
     print(f"TE under shifted matrix: objective {shifted.objective:.3f} "
           f"(was {recovered.objective:.3f})")
     print(f"path 2->6: {' -> '.join(shifted.routing.path(2, 6))}")
+
+    te_builds = controller.backend.calls["te_model_builds"]
+    te_solves = controller.backend.calls["te_solves"]
+    print(f"\nstanding TE model: built {te_builds} time(s), "
+          f"re-solved {te_solves} times across "
+          f"{controller.generation} events")
+    print("snapshots:", ", ".join(
+        f"gen {s.generation}={s.event}" for s in controller.history()
+    ))
 
 
 if __name__ == "__main__":

@@ -12,7 +12,7 @@ Combines three things the paper discusses beyond the running example:
 Run:  python examples/isp_scaleout.py
 """
 
-from repro import Compiler, Program, table5_topology
+from repro import Program, SnapController, table5_topology
 from repro.analysis.sharding import shard_by_inport, shard_defaults
 from repro.apps import assign_egress, default_subnets, port_assumption
 from repro.lang import ast
@@ -50,13 +50,13 @@ def main():
     unsharded, sharded = build_programs(num_ports)
 
     print("\n== Unsharded count[inport] ==")
-    result = Compiler(topology, unsharded).cold_start()
+    result = SnapController(topology, unsharded).submit()
     print(f"placement: {result.placement}")
     print(f"objective (sum link utilization): {result.objective:.3f}")
     print(f"ST solve: {result.timer.durations['P5']:.2f} s")
 
     print("\n== Sharded count@p per ingress (Appendix C) ==")
-    result_sharded = Compiler(topology, sharded).cold_start()
+    result_sharded = SnapController(topology, sharded).submit()
     shard_switches = sorted(set(result_sharded.placement.values()))
     print(f"shards placed on {len(shard_switches)} distinct switches: "
           f"{shard_switches}")

@@ -10,7 +10,7 @@ how traffic is steered through it.
 Run:  python examples/middlebox_consolidation.py
 """
 
-from repro import Compiler, Program, campus_topology, make_packet
+from repro import Program, SnapController, campus_topology, make_packet
 from repro.apps import (
     assign_egress,
     default_subnets,
@@ -69,8 +69,8 @@ def main():
         name="consolidated-middleboxes",
     )
 
-    compiler = Compiler(campus_topology(), program)
-    result = compiler.cold_start()
+    controller = SnapController(campus_topology(), program)
+    result = controller.submit()
 
     from repro.xfdd.diagram import iter_paths
 
@@ -84,7 +84,7 @@ def main():
     for switch, vars_ in sorted(by_switch.items()):
         print(f"  {switch}: {', '.join(vars_)}")
 
-    network = result.build_network()
+    network = controller.network()
     print("\n== Traffic checks ==")
     # Outside host cannot initiate into the protected subnet.
     blocked = network.inject(

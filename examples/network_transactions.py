@@ -7,6 +7,8 @@ place them on different switches and two packets race through the network,
 the pair can end up describing *different* packets.  Wrapping the updates
 in ``atomic(...)`` makes the dependency analysis tie the variables
 together, the MILP co-locates them, and the pair is updated atomically.
+The epilogue compiles the atomic policy through a ``SnapController``
+session to show the compiler choosing such a co-located placement itself.
 
 Run:  python examples/network_transactions.py
 """
@@ -87,6 +89,27 @@ def main():
     print(f"hon-ip[1] = {ip_val}, hon-dstport[1] = {port_val}")
     assert (ip_val, port_val) in ((111, 1111), (222, 2222))
     print("=> consistent under the same adversarial schedule.")
+
+    print("\n== Compiled end to end: the controller co-locates the pair ==")
+    from repro import Program, SnapController
+
+    topo = Topology("line")
+    for name in ("a", "b", "c"):
+        topo.add_switch(name)
+    topo.add_link("a", "b", 100.0)
+    topo.add_link("b", "c", 100.0)
+    topo.attach_port(1, "a")
+    topo.attach_port(2, "c")
+    controller = SnapController(
+        topo,
+        Program(honeypot_policy(atomic=True), name="honeypot-atomic"),
+        demands=uniform_traffic_matrix((1, 2), 1.0),
+    )
+    snap = controller.submit()
+    owners = {snap.placement["hon-ip"], snap.placement["hon-dstport"]}
+    print(f"placement: {dict(snap.placement)} (generation {snap.generation})")
+    assert len(owners) == 1, "tied variables must share a switch"
+    print("=> the placement MILP honoured the atomic() tie on its own.")
 
 
 if __name__ == "__main__":

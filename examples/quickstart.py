@@ -8,7 +8,7 @@ few packets through the simulated distributed data plane.
 Run:  python examples/quickstart.py
 """
 
-from repro import Compiler, Program, campus_topology, make_packet
+from repro import Program, SnapController, campus_topology, make_packet
 from repro.apps import assign_egress, default_subnets, dns_tunnel_detect, port_assumption
 from repro.lang import ast
 from repro.util.ipaddr import IPPrefix
@@ -30,10 +30,10 @@ def main():
         name="dns-tunnel-detect;assign-egress",
     )
 
-    # 2. Compile onto the Figure 2 campus topology.
+    # 2. Start a controller session and submit the program (cold start).
     topology = campus_topology()
-    compiler = Compiler(topology, program)
-    result = compiler.cold_start()
+    controller = SnapController(topology, program)
+    result = controller.submit()
 
     print("== Compilation ==")
     print(f"program:     {program.name}")
@@ -45,8 +45,8 @@ def main():
     for phase, seconds in sorted(result.timer.durations.items()):
         print(f"  {phase}: {seconds * 1000:7.1f} ms")
 
-    # 3. Bring up the simulated data plane and run the attack.
-    network = result.build_network()
+    # 3. Bring up the session's live data plane and run the attack.
+    network = controller.network()
     print("\n== Simulating a DNS tunnel (3 unused responses) ==")
     client = ip("10.0.6.10")
     for k in range(3):

@@ -5,20 +5,37 @@ Arashloo, Koral, Greenberg, Rexford, Walker.
 
 Public API highlights::
 
-    from repro import Compiler, Program, campus_topology
+    from repro import SnapController, Program, campus_topology
     from repro.apps import dns_tunnel_detect, assign_egress
 
     program = Program.from_source(source, assumption=...)
-    compiler = Compiler(campus_topology(), program)
-    result = compiler.cold_start()     # placement + routing + rules
-    network = result.build_network()   # simulated distributed data plane
+    controller = SnapController(campus_topology(), program)
 
-See README.md for a guided tour and DESIGN.md for the system inventory.
+    snap = controller.submit()           # cold start: placement+routing+rules
+    network = controller.network()       # live simulated data plane
+
+    snap = controller.update_policy(p2)  # recompile; network() hot-swapped,
+                                         # state-store contents carried over
+    snap = controller.fail_link("C1", "C5")   # standing TE model re-solved
+    snap = controller.restore_link("C1", "C5")
+    snap = controller.set_demands(matrix)
+
+Each event returns an immutable, generation-numbered ``Snapshot``.
+``Compiler`` (``cold_start`` / ``policy_change`` / ``topology_change``)
+remains as a deprecated shim over the controller; see ``docs/api.md``
+for the lifecycle and the migration guide, and README.md for a tour.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from repro.core import CompilationResult, Compiler, Program  # noqa: F401
+from repro.core import (  # noqa: F401
+    CompilationResult,
+    Compiler,
+    CompilerOptions,
+    Program,
+    Snapshot,
+    SnapController,
+)
 from repro.lang import (  # noqa: F401
     Packet,
     Store,

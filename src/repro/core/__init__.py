@@ -1,17 +1,25 @@
-"""The compiler core: programs, pipeline phases, and scenarios."""
+"""The compiler core: programs, the controller session, and snapshots."""
 
-from repro.core.pipeline import (
-    SCENARIO_PHASES,
-    CompilationResult,
-    Compiler,
-)
+from repro.core.controller import SnapController
+from repro.core.options import CompilerOptions
+from repro.core.pipeline import Compiler
 from repro.core.program import Program
 from repro.core.report import compilation_report
+from repro.core.result import (
+    EVENT_SCENARIOS,
+    SCENARIO_PHASES,
+    CompilationResult,
+    Snapshot,
+)
 
 __all__ = [
+    "EVENT_SCENARIOS",
     "SCENARIO_PHASES",
     "CompilationResult",
     "Compiler",
+    "CompilerOptions",
     "Program",
+    "Snapshot",
+    "SnapController",
     "compilation_report",
 ]

@@ -1,0 +1,479 @@
+"""The long-lived compilation session (Figure 5 run as a service).
+
+SNAP's Table 4 scenarios — cold start, policy change, topology/TM change
+— are events arriving at a controller that outlives any one compilation.
+:class:`SnapController` models exactly that: one session owns the base
+topology, the current program, the traffic matrix, the standing TE model
+(§6.2.2), and the live data plane; every event method returns a new
+immutable :class:`~repro.core.result.Snapshot` and never mutates a
+previously returned one.
+
+Event → phase-set mapping (Table 4):
+
+=================  =====================  ==========================
+event method       Table 4 scenario       phases run
+=================  =====================  ==========================
+``submit``         cold start             P1 P2 P3 P4 P5(ST) P6
+``update_policy``  policy change          P1 P2 P3 P4 P5(ST) P6 [#]_
+``update_topology``  topology/TM change   P5(TE, fresh model) P6
+``fail_link``      topology/TM change     P5(TE, patched model) P6
+``restore_link``   topology/TM change     P5(TE, patched model) P6
+``set_demands``    topology/TM change     P5(TE, patched model) P6
+=================  =====================  ==========================
+
+.. [#] The paper updates the standing MILP incrementally; we rebuild it
+   and report the rebuild separately as P4 so scenario totals can follow
+   Table 4's phase sets (``Snapshot.scenario_time``).
+
+Link events patch the *standing* TE model — built once per placement and
+re-solved with failed links pinned to zero / demand coefficients
+rewritten — instead of rebuilding it (§6.2.2).  Policy events invalidate
+it, since a new placement makes the old routing LP meaningless.
+
+:meth:`network` returns the session's live data plane.  When a later
+event produces a new snapshot, the live network is *hot-swapped*: a new
+data plane is compiled and the old one's state-store contents (every
+``count``/``seen``/``blacklist`` entry) are carried over, so a policy
+update does not forget what the network has learned — the OpenState /
+Open Packet Processor notion of reconfiguring a stateful data plane
+without losing its state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import replace
+from types import MappingProxyType
+
+from repro.analysis.dependency import analyze_dependencies
+from repro.analysis.packet_state import packet_state_mapping
+from repro.core.options import CompilerOptions
+from repro.core.program import Program
+from repro.core.result import EVENT_SCENARIOS, Snapshot
+from repro.dataplane.network import Network
+from repro.dataplane.rules import build_rule_tables
+from repro.lang.errors import SnapError
+from repro.milp.backends import get_backend
+from repro.milp.results import extract_paths, validate_solution
+from repro.topology.graph import Topology
+from repro.topology.traffic import gravity_traffic_matrix
+from repro.util.timer import PhaseTimer
+from repro.xfdd.build import to_xfdd
+from repro.xfdd.compose import Composer
+from repro.xfdd.diagram import DiagramFactory
+from repro.xfdd.order import TestOrder
+
+
+def _norm_link(a, b=None):
+    """Canonical undirected link key."""
+    if b is None:
+        a, b = a
+    return tuple(sorted((a, b)))
+
+
+class SnapController:
+    """One compilation session: events in, immutable snapshots out."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        program: Program | None = None,
+        demands: dict | None = None,
+        options: CompilerOptions | None = None,
+        **overrides,
+    ):
+        if options is None:
+            options = CompilerOptions(**overrides)
+        elif overrides:
+            options = replace(options, **overrides)
+        self._options = options
+        self._backend = get_backend(options.solver)
+        self._topology = topology
+        self._program = program
+        ports = sorted(topology.ports)
+        self._demands = (
+            dict(demands)
+            if demands is not None
+            else gravity_traffic_matrix(ports, total_demand=1000.0, seed=0)
+        )
+        #: Currently failed links (canonical undirected keys).
+        self._failed: frozenset = frozenset()
+        self._generation = -1
+        self._current: Snapshot | None = None
+        # Bounded: old snapshots (and the xFDD factories they pin) are
+        # evicted once the limit is reached; `current` is always kept.
+        self._history: deque = deque(maxlen=options.history_limit)
+        self._network: Network | None = None
+        # Standing TE model (§6.2.2) and the failure set applied to it.
+        self._te_model = None
+        self._model_failed: set = set()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def options(self) -> CompilerOptions:
+        return self._options
+
+    @property
+    def backend(self):
+        """The solver backend (its ``calls`` counters included)."""
+        return self._backend
+
+    @property
+    def topology(self) -> Topology:
+        """The base topology (failed links *not* removed)."""
+        return self._topology
+
+    @property
+    def program(self) -> Program | None:
+        return self._program
+
+    @property
+    def demands(self):
+        """Read-only view of the current traffic matrix."""
+        return MappingProxyType(self._demands)
+
+    @property
+    def failed_links(self) -> frozenset:
+        return self._failed
+
+    @property
+    def current(self) -> Snapshot | None:
+        """The latest snapshot, or None before the first ``submit``."""
+        return self._current
+
+    @property
+    def generation(self) -> int:
+        """Generation of the latest snapshot (-1 before ``submit``)."""
+        return self._generation
+
+    def history(self) -> tuple:
+        """Recent snapshots, oldest first (the newest
+        ``options.history_limit`` of them; ``None`` retains all)."""
+        return tuple(self._history)
+
+    def effective_topology(self) -> Topology:
+        """The base topology with currently failed links removed."""
+        topology = self._topology
+        for a, b in sorted(self._failed):
+            topology = topology.without_link(a, b)
+        return topology
+
+    # -- ST events (placement re-decided) ----------------------------------
+
+    def submit(self, program: Program | None = None) -> Snapshot:
+        """Cold start: compile ``program`` from scratch (all phases, ST).
+
+        Resets session event state (failed links, standing TE model).
+        """
+        with self._event_transaction():
+            if program is not None:
+                self._program = program
+            if self._program is None:
+                raise SnapError("no program: pass one to submit() or __init__")
+            self._failed = frozenset()
+            return self._compile_st("cold_start")
+
+    def update_policy(self, program: Program | None = None) -> Snapshot:
+        """Policy change: recompile (placement re-decided, ST).
+
+        Failed links stay failed — the new placement is solved against
+        the current effective topology.
+        """
+        self._require_current("update_policy")
+        with self._event_transaction():
+            if program is not None:
+                self._program = program
+            return self._compile_st("policy_change")
+
+    # -- TE events (placement fixed, routing re-optimized) -----------------
+
+    def update_topology(
+        self, topology: Topology, demands: dict | None = None
+    ) -> Snapshot:
+        """Replace the base topology; re-route with a fresh TE model.
+
+        The failure set and standing model are discarded — they describe
+        the old graph.
+        """
+        self._require_current("update_topology")
+        with self._event_transaction():
+            self._topology = topology
+            self._failed = frozenset()
+            self._invalidate_te()
+            if demands is not None:
+                self._demands = dict(demands)
+            return self._reoptimize("topology_change")
+
+    def fail_link(self, a, b) -> Snapshot:
+        """A link went down: patch the standing model, re-route."""
+        self._require_current("fail_link")
+        with self._event_transaction():
+            self._failed = self._failed | {_norm_link(a, b)}
+            return self._reoptimize("link_failure")
+
+    def restore_link(self, a, b) -> Snapshot:
+        """A failed link came back: patch the standing model, re-route."""
+        self._require_current("restore_link")
+        with self._event_transaction():
+            self._failed = self._failed - {_norm_link(a, b)}
+            return self._reoptimize("link_restore")
+
+    def set_demands(self, demands: dict) -> Snapshot:
+        """Traffic-matrix change: rewrite demand coefficients, re-route.
+
+        The current failure set stays in force.
+        """
+        self._require_current("set_demands")
+        with self._event_transaction():
+            self._demands = dict(demands)
+            return self._reoptimize("demand_change", demands_changed=True)
+
+    def reroute(
+        self,
+        failed_links=None,
+        demands: dict | None = None,
+        event: str = "topology_change",
+    ) -> Snapshot:
+        """General TE event: replace the whole failure set and/or the
+        traffic matrix in one re-optimization.
+
+        ``failed_links=None`` keeps the current set; ``[]`` restores
+        everything.  This is the bulk form of ``fail_link`` /
+        ``restore_link`` / ``set_demands`` (and what the legacy
+        ``Compiler.topology_change`` delegates to).  ``event`` labels the
+        snapshot's provenance and must map to the topology/TM-change
+        scenario.
+        """
+        self._require_current("reroute")
+        if EVENT_SCENARIOS.get(event) != "topology_change":
+            known = sorted(
+                e for e, s in EVENT_SCENARIOS.items() if s == "topology_change"
+            )
+            raise SnapError(
+                f"reroute event must be one of {known}, got {event!r}"
+            )
+        with self._event_transaction():
+            demands_changed = False
+            if demands is not None:
+                self._demands = dict(demands)
+                demands_changed = True
+            if failed_links is not None:
+                self._failed = frozenset(
+                    _norm_link(link) for link in failed_links
+                )
+            return self._reoptimize(event, demands_changed=demands_changed)
+
+    # -- the live data plane -----------------------------------------------
+
+    def network(self) -> Network:
+        """The session's live data plane for the current snapshot.
+
+        Built on first call; after each subsequent event the controller
+        hot-swaps it — the new snapshot's data plane is instantiated and
+        the old one's state-store contents are carried over, so state
+        like ``count``/``seen`` survives live reconfiguration.
+        """
+        self._require_current("network")
+        if self._network is None:
+            self._network = self._current.build_network()
+        return self._network
+
+    # -- internals ---------------------------------------------------------
+
+    def _require_current(self, what: str) -> None:
+        if self._current is None:
+            raise RuntimeError(f"run submit() before {what}()")
+
+    @contextmanager
+    def _event_transaction(self):
+        """Roll session inputs back if an event fails mid-flight.
+
+        Event methods set ``_program``/``_topology``/``_demands``/
+        ``_failed`` before compiling; if the solve then raises (bad
+        program, infeasible model), those inputs are restored so the
+        session still describes ``current`` — the caller can catch the
+        error and keep issuing events.  The standing TE model is
+        invalidated on failure rather than unpatched: the next TE event
+        rebuilds it from the (restored) session state.
+        """
+        saved = (self._program, self._topology, self._demands, self._failed)
+        try:
+            yield
+        except Exception:
+            self._program, self._topology, self._demands, self._failed = saved
+            self._invalidate_te()
+            raise
+
+    def _invalidate_te(self) -> None:
+        self._te_model = None
+        self._model_failed = set()
+
+    def _analysis(self, program: Program, topology: Topology, timer: PhaseTimer):
+        """Phases P1-P3 against an explicit topology (never ``self``'s)."""
+        with timer.phase("P1"):
+            dependencies = analyze_dependencies(program.full_policy())
+        with timer.phase("P2"):
+            order = TestOrder(program.registry, dependencies.state_rank)
+            # One hash-consing session and apply-cache per compilation:
+            # the intern table cannot leak across runs, and cache hit
+            # counters describe exactly this program.
+            factory = DiagramFactory()
+            composer = Composer(order, factory=factory)
+            xfdd = to_xfdd(program.full_policy(), composer)
+        with timer.phase("P3"):
+            ports = sorted(topology.ports)
+            mapping = packet_state_mapping(xfdd, ports, ports)
+        xfdd_stats = {
+            f"xfdd_{name}": value for name, value in composer.cache_stats().items()
+        }
+        return dependencies, xfdd, mapping, xfdd_stats, factory
+
+    def _compile_st(self, event: str) -> Snapshot:
+        """Full recompilation: P1-P3, ST solve, finish."""
+        timer = PhaseTimer()
+        topology = self.effective_topology()
+        deps, xfdd, mapping, xfdd_stats, factory = self._analysis(
+            self._program, topology, timer
+        )
+        solution, routing, stats = self._backend.solve_st(
+            topology,
+            self._demands,
+            mapping,
+            deps,
+            self._options.stateful_switches,
+            timer,
+            time_limit=self._options.solver_time_limit,
+            mip_rel_gap=self._options.mip_rel_gap,
+        )
+        # The placement may have moved: the standing TE model (fixed to
+        # the old placement) is meaningless now.
+        self._invalidate_te()
+        return self._finish(
+            topology, self._program, deps, xfdd, mapping, solution, routing,
+            timer, event, {**stats, **xfdd_stats}, factory,
+        )
+
+    def _reoptimize(self, event: str, demands_changed: bool = False) -> Snapshot:
+        """TE re-solve against the standing model (built on first need)."""
+        previous = self._current
+        timer = PhaseTimer()
+        with timer.phase("P5"):
+            model = self._te_model
+            if model is None:
+                # Fresh standing model: built on the *base* topology with
+                # current demands; failures are applied as patches below,
+                # keeping model state and self._failed in one scheme.
+                model = self._backend.build_te_model(
+                    self._topology,
+                    self._demands,
+                    previous.mapping,
+                    previous.dependencies,
+                    dict(previous.placement),
+                    self._options.stateful_switches,
+                )
+                self._te_model = model
+                self._model_failed = set()
+            elif demands_changed:
+                model.set_demands(self._demands)
+            wanted = set(self._failed)
+            for a, b in sorted(self._model_failed - wanted):
+                model.restore_link(a, b)
+            for a, b in sorted(wanted - self._model_failed):
+                model.fail_link(a, b)
+            self._model_failed = wanted
+            solution = self._backend.solve_te(
+                model, time_limit=self._options.solver_time_limit
+            )
+        return self._finish(
+            self.effective_topology(),
+            previous.program,
+            previous.dependencies,
+            previous.xfdd,
+            previous.mapping,
+            solution,
+            None,
+            timer,
+            event,
+            {},
+            previous.diagram_factory,
+        )
+
+    def _finish(
+        self, topology, program, dependencies, xfdd, mapping, solution,
+        routing, timer, event, stats, diagram_factory,
+    ) -> Snapshot:
+        """P6 + snapshot construction + live-network hot swap.
+
+        ``topology`` is the effective topology this solve ran against,
+        threaded explicitly — the session's base topology is never
+        temporarily mutated to smuggle it in.
+        """
+        with timer.phase("P6"):
+            if routing is None:
+                routing = extract_paths(solution, topology, mapping, dependencies)
+            if self._options.validate:
+                validate_solution(routing, topology, mapping, dependencies)
+            rules = build_rule_tables(routing)
+        self._generation += 1
+        snapshot = Snapshot(
+            generation=self._generation,
+            event=event,
+            scenario=EVENT_SCENARIOS[event],
+            program=program,
+            topology=topology,
+            demands=self._demands,
+            xfdd=xfdd,
+            dependencies=dependencies,
+            mapping=mapping,
+            placement=solution.placement,
+            routing=routing,
+            objective=solution.objective,
+            timer=timer,
+            rules=rules,
+            model_stats=stats,
+            diagram_factory=diagram_factory,
+        )
+        self._current = snapshot
+        self._history.append(snapshot)
+        if self._network is not None:
+            self._network = self._swap_network(self._network, snapshot)
+        return snapshot
+
+    @staticmethod
+    def _swap_network(live: Network, snapshot: Snapshot) -> Network:
+        """The next live data plane after ``snapshot``.
+
+        * cold start — genuinely cold: fresh stores, nothing carried;
+        * TE events (same xFDD, same placement) — ``rewire``: the
+          compiled switch programs and their state stores are shared,
+          only routing-derived structure is rebuilt;
+        * policy changes — full rebuild, then state-store contents
+          adopted into the new placement.
+        """
+        if snapshot.event == "cold_start":
+            return snapshot.build_network()
+        if (
+            snapshot.xfdd is live.index.root
+            and dict(snapshot.placement) == live.placement
+            # The compiled switch set is only reusable if the new graph
+            # has the same switches and the same port attachments (link
+            # failures qualify; a replacement topology may not).
+            and set(snapshot.topology.switches()) == set(live.topology.switches())
+            and snapshot.topology.ports == live.topology.ports
+        ):
+            return live.rewire(
+                snapshot.topology, snapshot.routing, dict(snapshot.demands),
+                rules=snapshot.rules,
+            )
+        fresh = snapshot.build_network()
+        fresh.adopt_state(live)
+        return fresh
+
+    def __repr__(self):
+        name = self._program.name if self._program is not None else None
+        return (
+            f"SnapController({name!r} on {self._topology.name!r}, "
+            f"generation={self._generation}, solver={self._backend.name!r})"
+        )

@@ -1,0 +1,44 @@
+"""Immutable compiler configuration.
+
+One frozen :class:`CompilerOptions` value configures a whole
+:class:`~repro.core.controller.SnapController` session.  Freezing it is
+deliberate: a long-lived controller answers a stream of events, and the
+answer to "what settings produced snapshot N?" must not change when the
+caller later tweaks a knob.  To recompile with different settings, start
+a new session (or pass a ``dataclasses.replace``-d options value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Settings shared by every compilation a session performs.
+
+    ``solver`` names a registered :mod:`repro.milp.backends` backend
+    (``"milp"`` — the §4.4 ST MILP — or ``"greedy"``, the §6.2.2
+    heuristic), or is itself a backend instance for callers plugging in
+    their own solver.
+    """
+
+    solver: object = "milp"
+    solver_time_limit: float | None = None
+    mip_rel_gap: float | None = None
+    validate: bool = True
+    stateful_switches: tuple | None = None
+    #: How many snapshots ``SnapController.history()`` retains (oldest
+    #: evicted first; ``current`` is always kept).  Each snapshot pins
+    #: its xFDD and hash-consing factory, so an unbounded history would
+    #: grow a long-lived session's memory linearly with event count.
+    #: ``None`` retains everything.
+    history_limit: int | None = 16
+
+    def __post_init__(self):
+        if self.stateful_switches is not None and not isinstance(
+            self.stateful_switches, tuple
+        ):
+            object.__setattr__(
+                self, "stateful_switches", tuple(self.stateful_switches)
+            )

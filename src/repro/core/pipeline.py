@@ -1,110 +1,43 @@
-"""The SNAP compiler pipeline (Figure 5, phases of Table 4).
+"""Deprecated single-compilation entry point.
 
-    P1  state dependency analysis        (§4.1)
-    P2  xFDD generation                  (§4.2)
-    P3  packet-state mapping             (§4.3)
-    P4  MILP creation                    (§4.4)
-    P5  MILP solving — ST (placement+routing) or TE (routing only)
-    P6  rule generation                  (§4.5)
+The pipeline now lives in three places:
 
-Scenario entry points mirror Table 4:
+* :mod:`repro.core.controller` — :class:`SnapController`, the long-lived
+  session whose events (``submit`` / ``update_policy`` /
+  ``update_topology`` / ``fail_link`` / ``restore_link`` /
+  ``set_demands``) run the Table 4 phase sets;
+* :mod:`repro.core.result` — the immutable :class:`Snapshot`
+  (``CompilationResult`` is its compatibility alias) and the
+  ``SCENARIO_PHASES`` table;
+* :mod:`repro.milp.backends` — the pluggable ST/TE solver backends
+  (``solver="milp" | "greedy"``).
 
-* :meth:`Compiler.cold_start` — all phases, ST.
-* :meth:`Compiler.policy_change` — P1, P2, P3, P5(ST), P6.  (The paper
-  updates the standing MILP incrementally in milliseconds; we rebuild it
-  and report the rebuild separately as P4 so scenario totals can follow
-  Table 4's phase sets.)
-* :meth:`Compiler.topology_change` — P5(TE), P6 with placement fixed.
+:class:`Compiler` remains as a thin shim that owns a controller and maps
+the old scenario methods onto events.  New code should use the
+controller directly — see ``docs/api.md`` for the migration guide.
 """
 
 from __future__ import annotations
 
-from repro.analysis.dependency import DependencyInfo, analyze_dependencies
-from repro.analysis.packet_state import PacketStateMapping, packet_state_mapping
+import warnings
+
+from repro.core.controller import SnapController
+from repro.core.options import CompilerOptions
 from repro.core.program import Program
-from repro.dataplane.network import Network
-from repro.dataplane.rules import build_rule_tables
-from repro.milp.placement import PlacementModel, PlacementInputs
-from repro.milp.heuristic import greedy_solution
-from repro.milp.results import RoutingPaths, extract_paths, validate_solution
-from repro.milp.te import build_te_model
+from repro.core.result import (  # noqa: F401  (re-exported compat names)
+    SCENARIO_PHASES,
+    CompilationResult,
+    Snapshot,
+)
 from repro.topology.graph import Topology
-from repro.topology.traffic import gravity_traffic_matrix
-from repro.util.timer import PhaseTimer
-from repro.xfdd.build import to_xfdd
-from repro.xfdd.compose import Composer
-from repro.xfdd.diagram import DiagramFactory
-from repro.xfdd.order import TestOrder
-
-#: Table 4: which phases run in each scenario.
-SCENARIO_PHASES = {
-    "cold_start": ("P1", "P2", "P3", "P4", "P5", "P6"),
-    "policy_change": ("P1", "P2", "P3", "P5", "P6"),
-    "topology_change": ("P5", "P6"),
-}
-
-
-class CompilationResult:
-    """Everything the compiler produced, plus per-phase timings."""
-
-    def __init__(
-        self,
-        program: Program,
-        topology: Topology,
-        demands: dict,
-        xfdd,
-        dependencies: DependencyInfo,
-        mapping: PacketStateMapping,
-        placement: dict,
-        routing: RoutingPaths,
-        objective: float,
-        timer: PhaseTimer,
-        scenario: str,
-        model_stats: dict | None = None,
-        diagram_factory: DiagramFactory | None = None,
-    ):
-        self.program = program
-        self.topology = topology
-        self.demands = demands
-        self.xfdd = xfdd
-        self.dependencies = dependencies
-        self.mapping = mapping
-        self.placement = placement
-        self.routing = routing
-        self.objective = objective
-        self.timer = timer
-        self.scenario = scenario
-        self.model_stats = model_stats or {}
-        #: The hash-consing session that built ``xfdd`` (None for scenarios
-        #: that reuse a previous compilation's diagram).
-        self.diagram_factory = diagram_factory
-
-    def scenario_time(self, scenario: str | None = None) -> float:
-        """Total time of the phases Table 4 assigns to the scenario."""
-        phases = SCENARIO_PHASES[scenario or self.scenario]
-        return self.timer.total(phases)
-
-    def build_network(self) -> Network:
-        """Instantiate the simulated data plane for this compilation."""
-        return Network(
-            self.topology,
-            self.xfdd,
-            self.placement,
-            self.routing,
-            self.mapping,
-            self.demands,
-            self.program.state_defaults,
-        )
-
-    def __repr__(self):
-        return (
-            f"CompilationResult({self.program.name!r} on {self.topology.name!r}, "
-            f"scenario={self.scenario}, placement={self.placement})"
-        )
 
 
 class Compiler:
-    """Compiles one program onto one topology."""
+    """Deprecated: compiles one program onto one topology.
+
+    A thin delegation shim over :class:`SnapController` kept so existing
+    callers (and the paper-era examples in older docs) keep working.
+    """
 
     def __init__(
         self,
@@ -117,126 +50,117 @@ class Compiler:
         mip_rel_gap: float | None = None,
         validate: bool = True,
     ):
-        self.topology = topology
-        self.program = program
-        ports = sorted(topology.ports)
-        self.demands = (
-            dict(demands)
-            if demands is not None
-            else gravity_traffic_matrix(ports, total_demand=1000.0, seed=0)
+        warnings.warn(
+            "Compiler is deprecated; use repro.SnapController "
+            "(see docs/api.md for the migration guide)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self.stateful_switches = stateful_switches
-        self.use_heuristic = use_heuristic
-        self.solver_time_limit = solver_time_limit
-        self.mip_rel_gap = mip_rel_gap
-        self.validate = validate
-        self._last: CompilationResult | None = None
-        self._te_model = None
-        self._te_failed: set = set()
-
-    # -- shared phase implementations -------------------------------------
-
-    def _analysis_phases(self, program: Program, timer: PhaseTimer):
-        with timer.phase("P1"):
-            dependencies = analyze_dependencies(program.full_policy())
-        with timer.phase("P2"):
-            order = TestOrder(program.registry, dependencies.state_rank)
-            # One hash-consing session and apply-cache per compilation:
-            # the intern table cannot leak across runs, and cache hit
-            # counters describe exactly this program.
-            factory = DiagramFactory()
-            composer = Composer(order, factory=factory)
-            xfdd = to_xfdd(program.full_policy(), composer)
-        with timer.phase("P3"):
-            ports = sorted(self.topology.ports)
-            mapping = packet_state_mapping(xfdd, ports, ports)
-        xfdd_stats = {
-            f"xfdd_{name}": value for name, value in composer.cache_stats().items()
-        }
-        return dependencies, xfdd, mapping, xfdd_stats, factory
-
-    def _solve_st(self, dependencies, mapping, timer: PhaseTimer):
-        if self.use_heuristic:
-            with timer.phase("P4"):
-                pass
-            with timer.phase("P5"):
-                solution, routing = greedy_solution(
-                    self.topology, self.demands, mapping, dependencies,
-                    self.stateful_switches,
-                )
-            return solution, routing, {}
-        with timer.phase("P4"):
-            inputs = PlacementInputs(
-                self.topology, self.demands, mapping, dependencies,
-                self.stateful_switches,
-            )
-            model = PlacementModel(inputs)
-        stats = {
-            "variables": model.model.num_vars,
-            "integer_variables": model.model.num_integer_vars,
-            "constraints": model.model.num_constraints,
-        }
-        with timer.phase("P5"):
-            solution = model.solve(
-                time_limit=self.solver_time_limit, mip_rel_gap=self.mip_rel_gap
-            )
-        routing = None
-        return solution, routing, stats
-
-    def _finish(self, program, dependencies, xfdd, mapping, solution, routing,
-                timer: PhaseTimer, scenario: str, stats: dict,
-                diagram_factory: DiagramFactory | None = None):
-        with timer.phase("P6"):
-            if routing is None:
-                routing = extract_paths(solution, self.topology, mapping, dependencies)
-            if self.validate:
-                validate_solution(routing, self.topology, mapping, dependencies)
-            build_rule_tables(routing)
-        result = CompilationResult(
-            program=program,
-            topology=self.topology,
-            demands=self.demands,
-            xfdd=xfdd,
-            dependencies=dependencies,
-            mapping=mapping,
-            placement=solution.placement,
-            routing=routing,
-            objective=solution.objective,
-            timer=timer,
-            scenario=scenario,
-            model_stats=stats,
-            diagram_factory=diagram_factory,
+        options = CompilerOptions(
+            solver="greedy" if use_heuristic else "milp",
+            solver_time_limit=solver_time_limit,
+            mip_rel_gap=mip_rel_gap,
+            validate=validate,
+            stateful_switches=(
+                tuple(stateful_switches) if stateful_switches is not None else None
+            ),
         )
-        self._last = result
-        return result
+        self._controller = SnapController(
+            topology, program, demands=demands, options=options
+        )
 
-    # -- scenarios (Table 4) -------------------------------------------------
+    # -- state the old class exposed as attributes --------------------------
+
+    @property
+    def controller(self) -> SnapController:
+        """The underlying session (for incremental migration)."""
+        return self._controller
+
+    @property
+    def topology(self) -> Topology:
+        return self._controller.topology
+
+    @topology.setter
+    def topology(self, topology: Topology) -> None:
+        # Legacy callers assigned and then ran a scenario; replacing the
+        # base graph invalidates the standing model and failure set.
+        self._controller._topology = topology
+        self._controller._failed = frozenset()
+        self._controller._invalidate_te()
+
+    @property
+    def program(self) -> Program:
+        return self._controller.program
+
+    @program.setter
+    def program(self, program: Program) -> None:
+        self._controller._program = program
+
+    @property
+    def demands(self) -> dict:
+        # The *live* dict, not the controller's read-only view: legacy
+        # callers mutated `compiler.demands` in place before a scenario
+        # call, and that must keep affecting the next compilation.
+        return self._controller._demands
+
+    @demands.setter
+    def demands(self, demands: dict) -> None:
+        self._controller._demands = dict(demands)
+
+    @property
+    def use_heuristic(self) -> bool:
+        return self._controller.backend.name == "greedy"
+
+    @property
+    def stateful_switches(self):
+        return self._controller.options.stateful_switches
+
+    @property
+    def solver_time_limit(self):
+        return self._controller.options.solver_time_limit
+
+    @property
+    def mip_rel_gap(self):
+        return self._controller.options.mip_rel_gap
+
+    @property
+    def validate(self) -> bool:
+        return self._controller.options.validate
+
+    @property
+    def _last(self):
+        return self._controller.current
+
+    @property
+    def _te_model(self):
+        return self._controller._te_model
+
+    @property
+    def _te_failed(self) -> set:
+        return set(self._controller.failed_links)
+
+    def _analysis_phases(self, program, timer):
+        """P1-P3 against the session topology (legacy perf-harness hook)."""
+        return self._controller._analysis(
+            program, self._controller.topology, timer
+        )
+
+    # -- scenarios (Table 4) ------------------------------------------------
 
     def cold_start(self) -> CompilationResult:
         """First compilation: all phases including MILP creation."""
-        timer = PhaseTimer()
-        deps, xfdd, mapping, xfdd_stats, factory = self._analysis_phases(
-            self.program, timer
-        )
-        solution, routing, stats = self._solve_st(deps, mapping, timer)
-        return self._finish(
-            self.program, deps, xfdd, mapping, solution, routing, timer,
-            "cold_start", {**stats, **xfdd_stats}, factory,
-        )
+        return self._controller.submit()
 
     def policy_change(self, new_program: Program | None = None) -> CompilationResult:
         """Recompile for a new policy (placement re-decided, ST)."""
-        if new_program is not None:
-            self.program = new_program
-        timer = PhaseTimer()
-        deps, xfdd, mapping, xfdd_stats, factory = self._analysis_phases(
-            self.program, timer
-        )
-        solution, routing, stats = self._solve_st(deps, mapping, timer)
-        return self._finish(
-            self.program, deps, xfdd, mapping, solution, routing, timer,
-            "policy_change", {**stats, **xfdd_stats}, factory,
-        )
+        controller = self._controller
+        if controller.current is None:
+            # Legacy: policy_change as the *first* compilation ran the
+            # full ST compile (no cold-start precondition existed).
+            if new_program is not None:
+                controller._program = new_program
+            return controller._compile_st("policy_change")
+        return controller.update_policy(new_program)
 
     def topology_change(
         self,
@@ -246,73 +170,20 @@ class Compiler:
     ) -> CompilationResult:
         """Re-optimize routing only (TE), keeping the last placement.
 
-        Two paths:
-
-        * ``new_topology`` — full TE model rebuild against the new graph;
-        * ``failed_links`` / ``new_demands`` — *incremental* (§6.2.2): the
-          standing TE model is patched (failed links pinned to zero,
-          demand coefficients rewritten) and re-solved.
+        Legacy semantics preserved: ``failed_links`` *replaces* the whole
+        failure set (``None`` restores everything), ``new_topology``
+        forces a fresh standing model.  The controller spelling is
+        ``update_topology`` / ``fail_link`` / ``restore_link`` /
+        ``set_demands`` / ``reroute``.
         """
-        if self._last is None:
-            raise RuntimeError("run cold_start() before topology_change()")
-        previous = self._last
-        if new_demands is not None:
-            self.demands = dict(new_demands)
-        timer = PhaseTimer()
         if new_topology is not None:
-            self.topology = new_topology
-            self._te_model = None
-            self._te_failed = set()
-        effective_topology = self.topology
-        with timer.phase("P5"):
-            if new_topology is None and (
-                failed_links is not None or self._te_model is not None
-            ):
-                # Incremental path: patch the cached standing model.
-                if self._te_model is None:
-                    self._te_model = build_te_model(
-                        self.topology,
-                        self.demands,
-                        previous.mapping,
-                        previous.dependencies,
-                        previous.placement,
-                        self.stateful_switches,
-                    )
-                model = self._te_model
-                wanted = {tuple(sorted(link)) for link in (failed_links or ())}
-                for a, b in self._te_failed - wanted:
-                    model.restore_link(a, b)
-                for a, b in wanted - self._te_failed:
-                    model.fail_link(a, b)
-                self._te_failed = wanted
-                if new_demands is not None:
-                    model.set_demands(self.demands)
-                for a, b in sorted(wanted):
-                    effective_topology = effective_topology.without_link(a, b)
-            else:
-                model = build_te_model(
-                    self.topology,
-                    self.demands,
-                    previous.mapping,
-                    previous.dependencies,
-                    previous.placement,
-                    self.stateful_switches,
-                )
-            solution = model.solve(time_limit=self.solver_time_limit)
-        saved_topology = self.topology
-        self.topology = effective_topology
-        try:
-            return self._finish(
-                previous.program,
-                previous.dependencies,
-                previous.xfdd,
-                previous.mapping,
-                solution,
-                None,
-                timer,
-                "topology_change",
-                {},
-                previous.diagram_factory,
+            return self._controller.update_topology(
+                new_topology, demands=new_demands
             )
-        finally:
-            self.topology = saved_topology
+        return self._controller.reroute(
+            failed_links=tuple(failed_links or ()),
+            demands=new_demands,
+        )
+
+    def __repr__(self):
+        return f"Compiler(shim for {self._controller!r})"

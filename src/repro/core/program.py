@@ -64,8 +64,19 @@ class Program:
         return ast.Seq(self.assumption, self.policy)
 
     def compose_parallel(self, other: "Program", name: str | None = None) -> "Program":
-        """``self + other`` with merged metadata (Figure 11's workload)."""
-        assumption = self.assumption if self.assumption is not None else other.assumption
+        """``self + other`` with merged metadata (Figure 11's workload).
+
+        Assumptions are operator knowledge (§4.3) and both still hold of
+        the composed program, so they conjoin (predicate intersection);
+        identical assumptions — the common case when components share a
+        port assumption — collapse to one.
+        """
+        if self.assumption is None:
+            assumption = other.assumption
+        elif other.assumption is None or other.assumption == self.assumption:
+            assumption = self.assumption
+        else:
+            assumption = ast.And(self.assumption, other.assumption)
         merged_defaults = dict(self.state_defaults)
         merged_defaults.update(other.state_defaults)
         return Program(

@@ -8,19 +8,20 @@ checking a deployment.
 
 from __future__ import annotations
 
-from repro.core.pipeline import CompilationResult
+from repro.core.result import Snapshot
 from repro.dataplane.network import Network
 from repro.xfdd.diagram import size
 
 
-def compilation_report(result: CompilationResult, network: Network | None = None) -> str:
-    """A multi-line summary of one compilation."""
+def compilation_report(result: Snapshot, network: Network | None = None) -> str:
+    """A multi-line summary of one compilation snapshot."""
     lines = []
     lines.append(f"program:   {result.program.name}")
     lines.append(f"topology:  {result.topology.name} "
                  f"({result.topology.num_switches()} switches, "
                  f"{len(result.topology.ports)} OBS ports)")
-    lines.append(f"scenario:  {result.scenario}")
+    lines.append(f"scenario:  {result.scenario} "
+                 f"(generation {result.generation}, event {result.event})")
     lines.append(f"xFDD size: {size(result.xfdd)}")
     lines.append(f"objective: {result.objective:.4f} (sum of link utilization)")
     lines.append("state placement:")

@@ -72,6 +72,7 @@ class Network:
         mapping,
         demands: dict | None = None,
         state_defaults: dict | None = None,
+        rules: RuleTables | None = None,
     ):
         self.topology = topology
         self.placement = dict(placement)
@@ -79,7 +80,9 @@ class Network:
         self.mapping = mapping
         self.demands = dict(demands or {})
         self.index = NodeIndex(xfdd)
-        self.rules: RuleTables = build_rule_tables(routing)
+        self.rules: RuleTables = (
+            rules if rules is not None else build_rule_tables(routing)
+        )
         port_switches = set(topology.ports.values())
         defaults = dict(state_defaults or {})
         self.state_defaults = defaults
@@ -92,13 +95,17 @@ class Network:
         }
         self.link_packets: dict = {}
         self.deliveries: list[DeliveryRecord] = []
+        self._init_routing_indices()
+
+    def _init_routing_indices(self) -> None:
+        """(Re)build everything derived from routing/topology/demands."""
         # Per-flow path indices: (u, v) -> {switch: position} and
         # (u, v) -> {switch: next_hop}, so the per-hop "is this switch on
         # the installed path / what comes after it" questions are dict
         # lookups instead of list scans.
         self._path_pos: dict = {}
         self._path_next: dict = {}
-        for (u, v), path in routing.paths.items():
+        for (u, v), path in self.routing.paths.items():
             self._path_pos[(u, v)] = {sw: i for i, sw in enumerate(path)}
             self._path_next[(u, v)] = dict(zip(path, path[1:]))
         # Candidate-egress index (Appendix D): (u, var) -> flows needing
@@ -126,6 +133,32 @@ class Network:
         self._default_next: dict = {}
         self._default_done: set = set()
 
+    def rewire(self, topology: Topology, routing: RoutingPaths,
+               demands: dict | None = None,
+               rules: RuleTables | None = None) -> "Network":
+        """A new network with routing/topology/demands replaced.
+
+        For hot swaps where the xFDD and placement are unchanged (TE
+        events): the compiled switch programs — and with them the state
+        stores — are *shared* with this network, so state carries over
+        for free and no per-switch recompilation happens; only the rule
+        tables and routing-derived indices are rebuilt.
+        """
+        dup = object.__new__(Network)
+        dup.topology = topology
+        dup.placement = dict(self.placement)
+        dup.routing = routing
+        dup.mapping = self.mapping
+        dup.demands = dict(demands if demands is not None else self.demands)
+        dup.index = self.index
+        dup.rules = rules if rules is not None else build_rule_tables(routing)
+        dup.state_defaults = self.state_defaults
+        dup.switches = self.switches
+        dup.link_packets = {}
+        dup.deliveries = []
+        dup._init_routing_indices()
+        return dup
+
     # -- state access ------------------------------------------------------
 
     def global_store(self) -> Store:
@@ -139,6 +172,26 @@ class Network:
                 for key, value in var.items():
                     target.set(key, value)
         return merged
+
+    def adopt_state(self, previous: "Network") -> None:
+        """Carry ``previous``'s state-store contents into this network.
+
+        The live-reconfiguration half of a controller hot swap: every
+        explicit entry of every state variable in the old data plane is
+        written into the variable's new owner switch, so counters and
+        flags survive a recompilation even when the placement moved.
+        Variables the new program no longer declares are dropped; new
+        variables keep their (fresh) defaults.
+        """
+        merged = previous.global_store()
+        for name in merged.names():
+            owner = self.placement.get(name)
+            if owner is None:
+                continue  # variable retired by the new program
+            source = merged.variable(name)
+            target = self.switches[owner].store.variable(name)
+            for key, value in source.items():
+                target.set(key, value)
 
     # -- egress selection (Appendix D) ----------------------------------------
 

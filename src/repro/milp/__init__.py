@@ -1,5 +1,13 @@
 """Optimization: the ST MILP, TE LP, greedy heuristic, and path extraction."""
 
+from repro.milp.backends import (
+    BACKENDS,
+    GreedyBackend,
+    MilpBackend,
+    SolverBackend,
+    get_backend,
+    register_backend,
+)
 from repro.milp.heuristic import greedy_placement, greedy_solution
 from repro.milp.modeling import Model, Solution, Variable
 from repro.milp.placement import (
@@ -18,6 +26,8 @@ from repro.milp.results import (
 from repro.milp.te import build_te_model, solve_te
 
 __all__ = [
+    "BACKENDS", "GreedyBackend", "MilpBackend", "SolverBackend",
+    "get_backend", "register_backend",
     "greedy_placement", "greedy_solution",
     "Model", "Solution", "Variable",
     "PlacementInputs", "PlacementModel", "PlacementSolution",

@@ -56,6 +56,37 @@ class TestProgram:
         assert "sb" in combined.state_defaults
         assert combined.name == "a+b"
 
+    def test_compose_parallel_conjoins_assumptions(self):
+        """Regression: the right operand's assumption used to be dropped."""
+        a = Program.from_source("sa[srcip] <- 1", assumption="inport = 1")
+        b = Program.from_source("sb[srcip] <- 2", assumption="srcport = 53")
+        combined = a.compose_parallel(b)
+        assert combined.assumption == ast.And(
+            ast.Test("inport", 1), ast.Test("srcport", 53)
+        )
+        # Intersection semantics: only packets satisfying both pass the
+        # combined assumption gate in the compiled policy.
+        full = combined.full_policy()
+        _, passed, _ = eval_policy(full, Store(), make_packet(inport=1, srcport=53))
+        assert len(passed) == 1
+        for pkt in (
+            make_packet(inport=2, srcport=53),
+            make_packet(inport=1, srcport=80),
+        ):
+            _, blocked, _ = eval_policy(full, Store(), pkt)
+            assert blocked == frozenset()
+
+    def test_compose_parallel_one_sided_assumption_kept(self):
+        a = Program.from_source("sa[srcip] <- 1", assumption="inport = 1")
+        b = Program.from_source("sb[srcip] <- 2")
+        assert a.compose_parallel(b).assumption == ast.Test("inport", 1)
+        assert b.compose_parallel(a).assumption == ast.Test("inport", 1)
+
+    def test_compose_parallel_identical_assumptions_collapse(self):
+        a = Program.from_source("sa[srcip] <- 1", assumption="inport = 1")
+        b = Program.from_source("sb[srcip] <- 2", assumption="inport = 1")
+        assert a.compose_parallel(b).assumption == ast.Test("inport", 1)
+
 
 class TestRenameStateVars:
     def test_dict_mapping(self):
