@@ -10,7 +10,7 @@ import time
 
 import pytest
 
-from repro.core.pipeline import Compiler
+from repro.core.controller import SnapController
 from repro.milp.te import build_te_model
 from repro.topology.synthetic import table5_topology
 
@@ -39,22 +39,22 @@ def _some_core_link(topology, placement):
 def test_incremental_vs_rebuild(benchmark, name):
     topology = table5_topology(name, num_ports=DEFAULT_PORTS, seed=0)
     program = dns_tunnel_program(DEFAULT_PORTS)
-    compiler = Compiler(topology, program)
-    cold = compiler.cold_start()
+    controller = SnapController(topology, program)
+    cold = controller.submit()
     link = _some_core_link(topology, cold.placement)
 
     def measure():
         # Full rebuild path.
         start = time.perf_counter()
         model = build_te_model(
-            topology.without_link(*link), compiler.demands, cold.mapping,
+            topology.without_link(*link), dict(controller.demands), cold.mapping,
             cold.dependencies, cold.placement,
         )
         rebuilt_solution = model.solve()
         rebuild_time = time.perf_counter() - start
         # Incremental path: patch the standing model.
         standing = build_te_model(
-            topology, compiler.demands, cold.mapping, cold.dependencies,
+            topology, dict(controller.demands), cold.mapping, cold.dependencies,
             cold.placement,
         )
         standing.solve()  # warm: the standing model exists pre-failure

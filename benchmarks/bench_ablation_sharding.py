@@ -12,7 +12,7 @@ from repro.analysis.dependency import analyze_dependencies
 from repro.analysis.packet_state import packet_state_mapping
 from repro.analysis.sharding import shard_by_inport, shard_defaults
 from repro.apps import assign_egress, default_subnets, port_assumption
-from repro.core.pipeline import Compiler
+from repro.core.controller import SnapController
 from repro.core.program import Program
 from repro.lang import ast
 from repro.topology.synthetic import table5_topology
@@ -52,7 +52,7 @@ def test_sharding(benchmark, name, variant):
     program = unsharded if variant == "single" else sharded
 
     def run():
-        return Compiler(topology, program).cold_start()
+        return SnapController(topology, program).submit()
 
     result = benchmark.pedantic(run, iterations=1, rounds=1)
     spread = len(set(result.placement.values()))

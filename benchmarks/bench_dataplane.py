@@ -16,7 +16,7 @@ from repro.apps import (
     port_assumption,
     stateful_firewall,
 )
-from repro.core.pipeline import Compiler
+from repro.core.controller import SnapController
 from repro.core.program import Program
 from repro.lang import ast
 from repro.topology.campus import campus_topology
@@ -35,7 +35,7 @@ def deployment(app):
         state_defaults=app.state_defaults,
         name=app.name,
     )
-    result = Compiler(campus_topology(), program).cold_start()
+    result = SnapController(campus_topology(), program).submit()
     return result.build_network()
 
 
@@ -45,7 +45,7 @@ def _egress_only():
         assumption=port_assumption(SUBNETS),
         name="egress-only",
     )
-    result = Compiler(campus_topology(), program).cold_start()
+    result = SnapController(campus_topology(), program).submit()
     return result.build_network()
 
 

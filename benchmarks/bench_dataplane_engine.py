@@ -1,0 +1,156 @@
+"""Sharded data-plane execution engine vs the sequential baseline.
+
+The campus sharded workload (§7.3 / Appendix C): ``count[inport]++``
+split into per-port shards with ``shard_by_inport``, composed with
+assign-egress, compiled onto the campus topology, and replayed under
+gravity-weighted background traffic.  The shard plan proves the six
+ingress ports disjoint, so the sharded engine runs six independent lanes
+(compiled segment-cached fast path per lane) and merges deterministically.
+
+Equivalence is asserted inline (records, stores, link counters); results
+are merged into ``BENCH_xfdd.json`` under ``dataplane_engine``.
+"""
+
+import gc
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.sharding import shard_by_inport, shard_defaults
+from repro.apps import assign_egress, default_subnets, port_assumption
+from repro.apps.chimera import dns_tunnel_detect
+from repro.core.controller import SnapController
+from repro.core.program import Program
+from repro.dataplane.engine import SequentialEngine, ShardedEngine, plan_shards
+from repro.lang import ast
+from repro.topology.campus import campus_topology
+from repro.workloads import background_traffic
+
+from workloads import print_table
+
+_JSON_PATH = Path(__file__).parent / "BENCH_xfdd.json"
+
+NUM_PORTS = 6
+SUBNETS = default_subnets(NUM_PORTS)
+PACKETS = 8000
+ROUNDS = 5
+
+_RESULTS = []
+_SUMMARY = {}
+
+
+def sharded_monitor_snapshot():
+    """The campus sharded workload's compilation."""
+    ports = list(range(1, NUM_PORTS + 1))
+    body = ast.Seq(
+        ast.StateIncr("count", ast.Field("inport")), assign_egress(SUBNETS)
+    )
+    program = Program(
+        shard_by_inport(body, "count", ports),
+        assumption=port_assumption(SUBNETS),
+        state_defaults=shard_defaults({"count": 0}, "count", ports),
+        name="monitor-sharded",
+    )
+    return SnapController(campus_topology(), program).submit()
+
+
+def dns_tunnel_snapshot():
+    """Single-lane control: global state serializes into one shard."""
+    app = dns_tunnel_detect()
+    program = Program(
+        ast.Seq(app.policy, assign_egress(SUBNETS)),
+        assumption=port_assumption(SUBNETS),
+        state_defaults=app.state_defaults,
+        name=app.name,
+    )
+    return SnapController(campus_topology(), program).submit()
+
+
+def _best_time(engine, snapshot, trace):
+    """Best-of-N wall time; fresh network per round (state restarts)."""
+    best = float("inf")
+    last_network = None
+    for _ in range(ROUNDS):
+        network = snapshot.build_network()
+        gc.collect()
+        gc.disable()
+        start = time.perf_counter()
+        records = engine.run(network, trace)
+        elapsed = time.perf_counter() - start
+        gc.enable()
+        best = min(best, elapsed)
+        last_network = network
+    return best, records, last_network
+
+
+def _record_view(records):
+    return [(r.egress, r.hops, r.packet) for r in records]
+
+
+def _compare(name, snapshot, benchmark):
+    trace = list(background_traffic(SUBNETS, count=PACKETS, seed=7))
+    plan = plan_shards(snapshot.build_network())
+
+    def run():
+        seq_time, seq_records, seq_net = _best_time(
+            SequentialEngine(), snapshot, trace
+        )
+        shard_time, shard_records, shard_net = _best_time(
+            ShardedEngine(), snapshot, trace
+        )
+        # Delivery equivalence, asserted on the measured runs themselves.
+        assert len(seq_records) == len(shard_records) == PACKETS
+        for a, b in zip(seq_records, shard_records):
+            assert _record_view(a) == _record_view(b)
+        assert seq_net.global_store() == shard_net.global_store()
+        assert seq_net.link_packets == shard_net.link_packets
+        return seq_time, shard_time
+
+    seq_time, shard_time = benchmark.pedantic(run, iterations=1, rounds=1)
+    seq_pps = PACKETS / seq_time
+    shard_pps = PACKETS / shard_time
+    speedup = seq_time / shard_time
+    _RESULTS.append(
+        (
+            name,
+            PACKETS,
+            plan.parallelism,
+            f"{seq_pps:,.0f}",
+            f"{shard_pps:,.0f}",
+            f"{speedup:.2f}x",
+        )
+    )
+    _SUMMARY[name] = {
+        "packets": PACKETS,
+        "shards": plan.parallelism,
+        "sequential_pps": round(seq_pps),
+        "sharded_pps": round(shard_pps),
+        "speedup": round(speedup, 2),
+    }
+    return speedup
+
+
+def test_campus_sharded_workload(benchmark):
+    """The headline number: ≥2x replay throughput on disjoint shards."""
+    speedup = _compare("monitor-sharded", sharded_monitor_snapshot(), benchmark)
+    assert speedup >= 1.5  # soft floor against noisy runners; tracked at 2.2x
+
+
+def test_single_lane_control(benchmark):
+    """Global state -> one lane; gains come from the compiled lane alone."""
+    speedup = _compare("dns-tunnel-detect", dns_tunnel_snapshot(), benchmark)
+    assert speedup >= 1.0
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    assert len(_RESULTS) == 2
+    print_table(
+        "Sharded data-plane engine vs sequential (campus, background traffic)",
+        ("workload", "packets", "shards", "sequential pkt/s",
+         "sharded pkt/s", "speedup"),
+        _RESULTS,
+    )
+    data = json.loads(_JSON_PATH.read_text()) if _JSON_PATH.exists() else {}
+    data["dataplane_engine"] = _SUMMARY
+    _JSON_PATH.write_text(json.dumps(data, indent=2) + "\n")

@@ -7,7 +7,7 @@ the series and assert monotone growth from the smallest to largest size.
 
 import pytest
 
-from repro.core.pipeline import Compiler
+from repro.core.controller import SnapController
 from repro.topology.igen import igen_topology
 
 from workloads import DEFAULT_PORTS, dns_tunnel_program, print_table
@@ -23,10 +23,10 @@ def test_scaling(benchmark, num_switches):
     program = dns_tunnel_program(DEFAULT_PORTS)
 
     def run_all():
-        compiler = Compiler(topology, program)
-        cold = compiler.cold_start()
-        policy = compiler.policy_change(dns_tunnel_program(DEFAULT_PORTS))
-        tm = compiler.topology_change()
+        controller = SnapController(topology, program)
+        cold = controller.submit()
+        policy = controller.update_policy(dns_tunnel_program(DEFAULT_PORTS))
+        tm = controller.reroute()
         return cold, policy, tm
 
     cold, policy, tm = benchmark.pedantic(run_all, iterations=1, rounds=1)

@@ -10,7 +10,7 @@ bench laptop-sized) and assert the growth.
 
 import pytest
 
-from repro.core.pipeline import Compiler
+from repro.core.controller import SnapController
 from repro.topology.igen import igen_topology
 
 from workloads import composed_program, print_table
@@ -28,9 +28,9 @@ def test_composed_policies(benchmark, num_apps):
 
     def run_all():
         program = composed_program(num_apps, NUM_PORTS)
-        compiler = Compiler(topology, program, mip_rel_gap=0.02)
-        cold = compiler.cold_start()
-        tm = compiler.topology_change()
+        controller = SnapController(topology, program, mip_rel_gap=0.02)
+        cold = controller.submit()
+        tm = controller.reroute()
         return cold, tm
 
     cold, tm = benchmark.pedantic(run_all, iterations=1, rounds=1)

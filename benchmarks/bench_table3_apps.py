@@ -18,7 +18,7 @@ import pytest
 
 from repro.analysis.dependency import analyze_dependencies
 from repro.apps import ALL_APPS, assign_egress, default_subnets, port_assumption
-from repro.core.pipeline import Compiler
+from repro.core.controller import SnapController
 from repro.core.program import Program
 from repro.lang import ast
 from repro.topology.campus import campus_topology
@@ -55,8 +55,8 @@ def test_app_compiles(benchmark, app_name):
             state_defaults=app.state_defaults,
             name=app.name,
         )
-        compiler = Compiler(topology, program)
-        return app, standalone_xfdd, compiler.cold_start()
+        controller = SnapController(topology, program)
+        return app, standalone_xfdd, controller.submit()
 
     app, standalone_xfdd, result = benchmark.pedantic(
         compile_app, iterations=1, rounds=1

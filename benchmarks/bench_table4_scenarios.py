@@ -6,7 +6,8 @@ and benchmarks each scenario on the running example.
 
 import pytest
 
-from repro.core.pipeline import SCENARIO_PHASES, Compiler
+from repro.core.controller import SnapController
+from repro.core.result import SCENARIO_PHASES
 from repro.topology.campus import campus_topology
 
 from workloads import dns_tunnel_program, print_table
@@ -15,25 +16,25 @@ _RESULTS = []
 
 
 @pytest.fixture(scope="module")
-def warm_compiler():
-    compiler = Compiler(campus_topology(), dns_tunnel_program(6))
-    compiler.cold_start()
-    return compiler
+def warm_controller():
+    controller = SnapController(campus_topology(), dns_tunnel_program(6))
+    controller.submit()
+    return controller
 
 
 def test_cold_start(benchmark):
     def run():
-        compiler = Compiler(campus_topology(), dns_tunnel_program(6))
-        return compiler.cold_start()
+        controller = SnapController(campus_topology(), dns_tunnel_program(6))
+        return controller.submit()
 
     result = benchmark.pedantic(run, iterations=1, rounds=1)
     assert set(result.timer.durations) == set(SCENARIO_PHASES["cold_start"])
     _RESULTS.append(("cold start", "P1-P6", f"{result.scenario_time():.3f}s"))
 
 
-def test_policy_change(benchmark, warm_compiler):
+def test_policy_change(benchmark, warm_controller):
     result = benchmark.pedantic(
-        lambda: warm_compiler.policy_change(dns_tunnel_program(6)),
+        lambda: warm_controller.update_policy(dns_tunnel_program(6)),
         iterations=1,
         rounds=1,
     )
@@ -43,9 +44,9 @@ def test_policy_change(benchmark, warm_compiler):
     _RESULTS.append(("policy change", "P1,P2,P3,P5(ST),P6", f"{measured:.3f}s"))
 
 
-def test_topology_tm_change(benchmark, warm_compiler):
+def test_topology_tm_change(benchmark, warm_controller):
     result = benchmark.pedantic(
-        lambda: warm_compiler.topology_change(), iterations=1, rounds=1
+        lambda: warm_controller.reroute(), iterations=1, rounds=1
     )
     assert set(result.timer.durations) == set(SCENARIO_PHASES["topology_change"])
     _RESULTS.append(

@@ -10,7 +10,7 @@ most (AS6461/AS3257 > AS1755/AS1221; Purdue > Stanford/Berkeley).
 
 import pytest
 
-from repro.core.pipeline import Compiler
+from repro.core.controller import SnapController
 from repro.topology.synthetic import TABLE5, table5_topology
 
 from workloads import DEFAULT_PORTS, dns_tunnel_program, print_table
@@ -24,9 +24,9 @@ def test_phase_runtimes(benchmark, name):
     program = dns_tunnel_program(DEFAULT_PORTS)
 
     def compile_both():
-        compiler = Compiler(topology, program)
-        cold = compiler.cold_start()
-        te = compiler.topology_change()
+        controller = SnapController(topology, program)
+        cold = controller.submit()
+        te = controller.reroute()
         return cold, te
 
     cold, te = benchmark.pedantic(compile_both, iterations=1, rounds=1)

@@ -278,6 +278,7 @@ class SnapController:
         self._require_current("network")
         if self._network is None:
             self._network = self._current.build_network()
+            self._network.default_engine = self._options.engine
         return self._network
 
     # -- internals ---------------------------------------------------------
@@ -453,7 +454,9 @@ class SnapController:
           adopted into the new placement.
         """
         if snapshot.event == "cold_start":
-            return snapshot.build_network()
+            fresh = snapshot.build_network()
+            fresh.default_engine = live.default_engine
+            return fresh
         if (
             snapshot.xfdd is live.index.root
             and dict(snapshot.placement) == live.placement
@@ -468,6 +471,7 @@ class SnapController:
                 rules=snapshot.rules,
             )
         fresh = snapshot.build_network()
+        fresh.default_engine = live.default_engine
         fresh.adopt_state(live)
         return fresh
 

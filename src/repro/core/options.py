@@ -21,6 +21,11 @@ class CompilerOptions:
     (``"milp"`` — the §4.4 ST MILP — or ``"greedy"``, the §6.2.2
     heuristic), or is itself a backend instance for callers plugging in
     their own solver.
+
+    ``engine`` selects how the session's live data plane executes
+    workloads: ``"sequential"`` (run-to-completion in arrival order) or
+    ``"sharded"`` (per-ingress state shards on parallel lanes, see
+    :mod:`repro.dataplane.engine`), or an engine instance.
     """
 
     solver: object = "milp"
@@ -28,6 +33,9 @@ class CompilerOptions:
     mip_rel_gap: float | None = None
     validate: bool = True
     stateful_switches: tuple | None = None
+    #: Data-plane execution engine for ``SnapController.network()``:
+    #: ``"sequential"`` | ``"sharded"`` | an engine instance.
+    engine: object = "sequential"
     #: How many snapshots ``SnapController.history()`` retains (oldest
     #: evicted first; ``current`` is always kept).  Each snapshot pins
     #: its xFDD and hash-consing factory, so an unbounded history would
@@ -42,3 +50,11 @@ class CompilerOptions:
             object.__setattr__(
                 self, "stateful_switches", tuple(self.stateful_switches)
             )
+        if isinstance(self.engine, str):
+            from repro.dataplane.engine import ENGINE_NAMES
+
+            if self.engine not in ENGINE_NAMES:
+                raise ValueError(
+                    f"engine must be one of {ENGINE_NAMES} or an engine "
+                    f"instance, got {self.engine!r}"
+                )

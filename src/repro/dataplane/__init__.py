@@ -9,6 +9,15 @@ from repro.dataplane.header import (
     add_header,
     strip_header,
 )
+from repro.dataplane.engine import (
+    SequentialEngine,
+    Shard,
+    ShardedEngine,
+    ShardPlan,
+    get_engine,
+    ingress_state_footprint,
+    plan_shards,
+)
 from repro.dataplane.netasm import SwitchProgram, compile_switch
 from repro.dataplane.network import DeliveryRecord, Network
 from repro.dataplane.rules import RoutingRule, RuleTables, build_rule_tables
@@ -19,6 +28,8 @@ __all__ = [
     "add_header", "strip_header",
     "SwitchProgram", "compile_switch",
     "DeliveryRecord", "Network",
+    "SequentialEngine", "ShardedEngine", "Shard", "ShardPlan",
+    "get_engine", "ingress_state_footprint", "plan_shards",
     "RoutingRule", "RuleTables", "build_rule_tables",
     "NodeIndex", "split_summary",
 ]

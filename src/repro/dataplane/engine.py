@@ -1,0 +1,520 @@
+"""Sharded parallel data-plane execution (§7.3, Appendix C, made runnable).
+
+SNAP observes that ``s[inport]``-indexed state can be partitioned into
+per-port shards "without worrying about synchronization, as the shards
+store disjoint parts of s".  This module turns that observation into an
+execution engine:
+
+1. **Prove disjointness.**  Walking the xFDD's root-to-leaf paths (the
+   same machinery as :func:`repro.analysis.packet_state
+   .packet_state_mapping`) yields, for every OBS ingress port, the set of
+   state variables a packet entering there can read or write — its
+   *ingress state footprint*.
+2. **Plan shards.**  Ports sharing any state variable are unioned into
+   one shard; the result is a partition of the ingress ports such that
+   packets of different shards touch provably disjoint state.  A
+   variable every port can touch (an unsharded global counter) simply
+   collapses all its ports into a single shard — that shard is the
+   "single owner lane" everything unshardable serializes through.
+3. **Execute.**  A workload is split into per-shard batches (per-shard
+   arrival order preserved) and each batch runs on its own lane — a
+   thread-pool worker over the shard's independent ``SwitchProgram``
+   state partition.  Safe by construction: lanes share no state
+   variables, forwarding state is read-only, and per-lane link counters
+   are merged afterwards.
+4. **Merge deterministically.**  Per-packet delivery records are
+   reassembled in global arrival order, so the sharded engine is
+   *delivery-equivalent* to the sequential engine (and therefore to the
+   OBS ``eval`` semantics) — the property tests assert exactly that.
+
+Each lane runs a *compiled* fast path rather than the generic
+:meth:`Network._run` hop loop: pure-forwarding hop chains are memoized as
+*segments* keyed by ``(switch, inport, outport, tag)`` (one dict hit and
+one counter bump per traversal instead of per-hop queue churn), and the
+xFDD's leading ``inport``-only branches are pre-resolved per shard port
+(:meth:`SwitchProgram.resolve_inport_entry`).  Both are exact: segments
+replay the same routing lookups ``_forward`` performs, entry resolution
+runs the real lowered test closures.
+
+Select the engine with ``CompilerOptions(engine="sharded")`` (threaded
+through :meth:`SnapController.network`) or pass ``engine=`` to
+:func:`repro.workloads.replay`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.analysis.packet_state import (
+    _path_inports,
+    _path_reachable,
+    _path_reads,
+)
+from repro.dataplane.header import (
+    DONE_TAG,
+    ROOT_TAG,
+    SNAP_INPORT,
+    SNAP_NODE,
+    SNAP_OUTPORT,
+)
+from repro.dataplane.network import MAX_HOPS, DeliveryRecord, Network
+from repro.lang.errors import DataPlaneError, SnapError
+from repro.lang.packet import Packet
+from repro.xfdd.diagram import iter_paths
+
+#: The engine names CompilerOptions accepts.
+ENGINE_NAMES = ("sequential", "sharded")
+
+
+# -- shard analysis -----------------------------------------------------------
+
+
+def ingress_state_footprint(xfdd, inports) -> dict:
+    """State variables reachable per ingress port: ``{port: frozenset}``.
+
+    A variable is in port ``u``'s footprint iff some reachable
+    root-to-leaf path compatible with ``inport = u`` reads or writes it.
+    Conservative in the same way the packet-state mapping is — over-
+    approximating a footprint can only merge shards, never split state
+    that actually races.
+    """
+    footprint: dict = {port: set() for port in inports}
+    for path, leaf in iter_paths(xfdd):
+        if not _path_reachable(path):
+            continue
+        states = _path_reads(path) | leaf.written_state_vars()
+        if not states:
+            continue
+        for port in _path_inports(path, inports):
+            footprint[port] |= states
+    return {port: frozenset(states) for port, states in footprint.items()}
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One execution lane: the ports it serves and the state it owns."""
+
+    ports: tuple
+    variables: frozenset
+
+    def __repr__(self):
+        return f"Shard(ports={list(self.ports)}, vars={sorted(self.variables)})"
+
+
+class ShardPlan:
+    """A proven-disjoint partition of the ingress ports.
+
+    ``shards`` is ordered by lowest member port; ``shard_of`` maps every
+    ingress port to its shard index.  ``parallelism`` is the number of
+    lanes that can run concurrently; 1 means the program's state fully
+    serializes (every stateful port shares a variable).
+    """
+
+    def __init__(self, shards, footprint):
+        self.shards = tuple(shards)
+        self.footprint = dict(footprint)
+        self.shard_of = {
+            port: index
+            for index, shard in enumerate(self.shards)
+            for port in shard.ports
+        }
+
+    @property
+    def parallelism(self) -> int:
+        return len(self.shards)
+
+    def summary(self) -> dict:
+        """Reporting: lane count and the size of each lane."""
+        return {
+            "shards": len(self.shards),
+            "ports_per_shard": [len(s.ports) for s in self.shards],
+            "sharded_vars": sum(len(s.variables) for s in self.shards),
+        }
+
+    def __repr__(self):
+        return f"ShardPlan({len(self.shards)} shards: {list(self.shards)})"
+
+
+def plan_shards(network: Network) -> ShardPlan:
+    """Partition the network's ingress ports into disjoint-state shards.
+
+    Union-find over ports: every state variable merges all ports whose
+    footprint contains it.  Ports with empty footprints (pure stateless
+    traffic) become singleton shards — they can run on any lane.
+    """
+    ports = sorted(network.topology.ports)
+    footprint = ingress_state_footprint(network.index.root, ports)
+
+    parent = {port: port for port in ports}
+
+    def find(port):
+        root = port
+        while parent[root] != root:
+            root = parent[root]
+        while parent[port] != root:  # path compression
+            parent[port], port = root, parent[port]
+        return root
+
+    var_ports: dict = {}
+    for port, states in footprint.items():
+        for var in states:
+            var_ports.setdefault(var, []).append(port)
+    for members in var_ports.values():
+        anchor = find(members[0])
+        for port in members[1:]:
+            parent[find(port)] = anchor
+
+    groups: dict = {}
+    for port in ports:
+        groups.setdefault(find(port), []).append(port)
+    shards = [
+        Shard(
+            tuple(members),
+            frozenset().union(*(footprint[p] for p in members)),
+        )
+        for members in sorted(groups.values())
+    ]
+    return ShardPlan(shards, footprint)
+
+
+# -- engines ------------------------------------------------------------------
+
+
+class SequentialEngine:
+    """Run-to-completion in arrival order — delegates to ``inject_many``."""
+
+    name = "sequential"
+
+    def run(self, network: Network, arrivals) -> list:
+        """One record list per injected packet, in arrival order."""
+        return network.inject_many(arrivals)
+
+    def __repr__(self):
+        return "SequentialEngine()"
+
+
+class ShardedEngine:
+    """Per-shard parallel execution with deterministic merge.
+
+    ``max_workers=None`` sizes the thread pool to the machine
+    (``os.cpu_count()``); lanes never exceed the plan's parallelism.
+    With one worker (or one shard) the lanes run inline on the calling
+    thread — same code path, no pool.
+    """
+
+    name = "sharded"
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+
+    def run(self, network: Network, arrivals) -> list:
+        arrivals = list(arrivals)
+        plan = self.plan_for(network)
+        shard_of = plan.shard_of
+        batches: dict = {}
+        for index, (packet, port) in enumerate(arrivals):
+            shard = shard_of.get(port)
+            if shard is None:
+                raise DataPlaneError(f"no OBS port {port} in the topology")
+            batches.setdefault(shard, []).append((index, packet, port))
+
+        lanes = [
+            _Lane(network, plan.shards[shard], batch)
+            for shard, batch in sorted(batches.items())
+        ]
+        workers = self.max_workers or os.cpu_count() or 1
+        workers = min(workers, len(lanes))
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                lane_results = list(pool.map(_Lane.run, lanes))
+        else:
+            lane_results = [lane.run() for lane in lanes]
+
+        # Deterministic merge: records in global arrival order, link
+        # counters summed.
+        by_index: dict = {}
+        link_packets = network.link_packets
+        for records_by_index, links in lane_results:
+            by_index.update(records_by_index)
+            for link, count in links.items():
+                link_packets[link] = link_packets.get(link, 0) + count
+        results = [by_index[index] for index in range(len(arrivals))]
+        deliveries = network.deliveries
+        for records in results:
+            deliveries.extend(records)
+        return results
+
+    def plan_for(self, network: Network) -> ShardPlan:
+        """The network's shard plan (computed once per network)."""
+        plan = getattr(network, "_shard_plan", None)
+        if plan is None:
+            plan = plan_shards(network)
+            network._shard_plan = plan
+        return plan
+
+    def __repr__(self):
+        return f"ShardedEngine(max_workers={self.max_workers})"
+
+
+def get_engine(engine):
+    """Resolve an engine name (or pass an engine instance through)."""
+    if engine is None or engine == "sequential":
+        return SequentialEngine()
+    if engine == "sharded":
+        return ShardedEngine()
+    if hasattr(engine, "run"):
+        return engine
+    raise SnapError(
+        f"unknown data-plane engine {engine!r}; expected one of "
+        f"{ENGINE_NAMES} or an engine instance"
+    )
+
+
+# -- the per-shard lane -------------------------------------------------------
+
+_STRIP = (SNAP_INPORT, SNAP_OUTPORT, SNAP_NODE)
+
+
+class _Lane:
+    """One shard's compiled execution lane.
+
+    Processes its batch in per-shard arrival order, producing exactly the
+    records the sequential engine would (same packets, egresses, and hop
+    counts — the equivalence property tests compare them field by field).
+    Forwarding hop chains are memoized as segments; per-segment traversal
+    counters are expanded into per-link packet counts at the end.
+    """
+
+    __slots__ = ("network", "shard", "batch", "_segments", "_seg_counts")
+
+    def __init__(self, network: Network, shard: Shard, batch):
+        self.network = network
+        self.shard = shard
+        self.batch = batch  # [(global_index, packet, port)]
+        self._segments: dict = {}  # (switch, u, v, tag) -> (stop, links)
+        self._seg_counts: dict = {}
+
+    def run(self):
+        """Returns ``({global_index: [DeliveryRecord]}, {link: count})``."""
+        results: dict = {}
+        run_packet = self._run_packet
+        for index, packet, port in self.batch:
+            results[index] = run_packet(packet, port)
+        links: dict = {}
+        segments = self._segments
+        for key, count in self._seg_counts.items():
+            for link in segments[key][1]:
+                links[link] = links.get(link, 0) + count
+        return results, links
+
+    # -- per-packet interpreter -------------------------------------------
+
+    def _run_packet(self, packet: Packet, port: int) -> list:
+        net = self.network
+        ports = net.topology.ports
+        segments = self._segments
+        seg_counts = self._seg_counts
+        # Inlined add_header: one dict copy for tag + inport.
+        fields = dict(packet._fields)
+        fields["inport"] = port
+        fields[SNAP_INPORT] = port
+        fields[SNAP_NODE] = ROOT_TAG
+        tagged = Packet.__new__(Packet)
+        tagged._fields = fields
+        tagged._hash = None
+
+        program = net.switches[ports[port]]
+        entry = program.resolve_inport_entry(ROOT_TAG, tagged, port)
+
+        # Fast path: one outcome that emits to a valid egress — the
+        # overwhelmingly common case — needs no copy stack at all.
+        outcomes = program.process(tagged, entry=entry)
+        if len(outcomes) == 1 and outcomes[0].kind == "emit":
+            outcome = outcomes[0]
+            fields = outcome.packet._fields
+            egress = fields.get("outport")
+            if egress is not None and egress in ports:
+                switch = program.switch
+                total = 0
+                if ports[egress] != switch:
+                    key = (switch, port, egress, DONE_TAG)
+                    seg = segments.get(key)
+                    if seg is None:
+                        seg = self._walk(switch, port, egress, DONE_TAG)
+                        segments[key] = seg
+                    seg_counts[key] = seg_counts.get(key, 0) + 1
+                    total = len(seg[1])
+                    if total > MAX_HOPS:
+                        raise DataPlaneError(
+                            "packet exceeded hop limit (routing loop?)"
+                        )
+                stripped = dict(fields)
+                del stripped[SNAP_INPORT]
+                stripped.pop(SNAP_OUTPORT, None)
+                del stripped[SNAP_NODE]
+                out = Packet.__new__(Packet)
+                out._fields = stripped
+                out._hash = None
+                return [DeliveryRecord(out, egress, total)]
+
+        records: list = []
+        # Depth-first over packet copies, first-emitted first — the same
+        # order the (fixed) sequential ``_run`` processes them in.  Stack
+        # items are resume tuples or DeliveryRecords; a record on the
+        # stack is an already-computed delivery whose forwarding hops the
+        # sequential engine would still be walking, so it surfaces in the
+        # same depth-first position.  ``outcomes`` (already produced
+        # above — processing is stateful, never rerun) seeds the loop.
+        stack: list = []
+        switch = program.switch
+        hops = 0
+        while True:
+            in_flight = None
+            for outcome in outcomes:
+                kind = outcome.kind
+                if kind == "emit":
+                    # Inlined emit hot path.  A DONE packet is never
+                    # processed again, so the SNAP-header writes the
+                    # generic ``_handle_outcome`` makes before forwarding
+                    # would be stripped unread at the egress: deliver the
+                    # stripped packet directly and save both copies.
+                    fields = outcome.packet._fields
+                    egress = fields.get("outport")
+                    if egress is None or egress not in ports:
+                        records.append(
+                            DeliveryRecord(outcome.packet, None, hops)
+                        )
+                        continue
+                    local = ports[egress] == switch
+                    total = hops
+                    if not local:
+                        u = fields.get(SNAP_INPORT)
+                        key = (switch, u, egress, DONE_TAG)
+                        seg = segments.get(key)
+                        if seg is None:
+                            seg = self._walk(switch, u, egress, DONE_TAG)
+                            segments[key] = seg
+                        seg_counts[key] = seg_counts.get(key, 0) + 1
+                        total += len(seg[1])
+                        if total > MAX_HOPS:
+                            raise DataPlaneError(
+                                "packet exceeded hop limit (routing loop?)"
+                            )
+                    stripped = dict(fields)
+                    del stripped[SNAP_INPORT]
+                    stripped.pop(SNAP_OUTPORT, None)
+                    del stripped[SNAP_NODE]
+                    out = Packet.__new__(Packet)
+                    out._fields = stripped
+                    out._hash = None
+                    record = DeliveryRecord(out, egress, total)
+                    if local:
+                        # Delivered at this switch: surfaces before any
+                        # queued copy, exactly like Network._step.
+                        records.append(record)
+                    elif in_flight is None:
+                        in_flight = [record]
+                    else:
+                        in_flight.append(record)
+                elif kind == "drop":
+                    records.append(DeliveryRecord(outcome.packet, None, hops))
+                else:
+                    resume = self._handle_pause(outcome, switch, hops)
+                    if in_flight is None:
+                        in_flight = [resume]
+                    else:
+                        in_flight.append(resume)
+            if in_flight is not None:
+                stack.extend(reversed(in_flight))
+            while stack and type(stack[-1]) is DeliveryRecord:
+                records.append(stack.pop())
+            if not stack:
+                return records
+            program, pkt, entry, hops = stack.pop()
+            switch = program.switch
+            outcomes = program.process(pkt, entry=entry)
+
+    def _handle_pause(self, outcome, switch: str, hops: int):
+        """A pause outcome -> the next processing stop.
+
+        Mirrors :meth:`Network._handle_outcome`'s retag logic + the
+        pure-forwarding hops up to the variable's owner switch, with the
+        forwarding collapsed into a memoized segment.
+        """
+        pkt = outcome.packet
+        net = self.network
+        fields = pkt._fields
+        u = fields.get(SNAP_INPORT)
+        # Ensure the tagged egress candidate can reach the variable
+        # (identical logic to Network._handle_outcome).
+        var = outcome.var
+        v = fields.get(SNAP_OUTPORT)
+        needs_retag = True
+        if v is not None:
+            pos = net._path_pos.get((u, v))
+            if (
+                pos is not None
+                and switch in pos
+                and var in net.mapping.states_for(u, v)
+            ):
+                owner = net.placement[var]
+                if owner in pos and pos[owner] >= pos[switch]:
+                    needs_retag = False
+        if needs_retag:
+            candidate = net._candidate_egress(u, var, switch)
+            if candidate is None:
+                raise DataPlaneError(
+                    f"no candidate egress for flow from port {u} pausing on "
+                    f"{var!r} at {switch}"
+                )
+            pkt = pkt.modify(SNAP_OUTPORT, candidate)
+            v = candidate
+        tag = fields.get(SNAP_NODE)
+        key = (switch, u, v, tag)
+        seg = self._segments.get(key)
+        if seg is None:
+            seg = self._walk(switch, u, v, tag)
+            self._segments[key] = seg
+        self._seg_counts[key] = self._seg_counts.get(key, 0) + 1
+        hops += len(seg[1])
+        if hops > MAX_HOPS:
+            raise DataPlaneError("packet exceeded hop limit (routing loop?)")
+        program = net.switches[seg[0]]
+        return (program, pkt, program.entries[tag], hops)
+
+    def _walk(self, switch: str, u: int, v: int, tag: int):
+        """Replay ``Network._forward``'s hop decisions until the packet
+        reaches a switch that can act on it (process the tag, or deliver
+        a DONE packet at its egress)."""
+        net = self.network
+        switches = net.switches
+        rules = net.rules
+        done = tag == DONE_TAG
+        egress_switch = net.topology.port_switch(v)
+        links = []
+        current = switch
+        while True:
+            nxt = rules.next_hop(current, u, v)
+            if nxt is None:
+                chain = net._path_next.get((u, v))
+                if chain is not None:
+                    nxt = chain.get(current)
+            if nxt is None and done:
+                nxt = net._default_next_hop(current, egress_switch)
+            if nxt is None:
+                raise DataPlaneError(
+                    f"no route at {current} for flow ({u}, {v}) (tag={tag})"
+                )
+            links.append((current, nxt))
+            if len(links) > MAX_HOPS:
+                raise DataPlaneError(
+                    "packet exceeded hop limit (routing loop?)"
+                )
+            current = nxt
+            if done:
+                if current == egress_switch:
+                    return current, tuple(links)
+            elif tag in switches[current].entries:
+                return current, tuple(links)

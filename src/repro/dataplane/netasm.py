@@ -282,18 +282,51 @@ class SwitchProgram:
         self.store = store
         # Lowered once; `process` only ever touches the flat form.
         self._ops = _lower(instructions, store)
+        # (tag, inport) -> pre-resolved entry, see resolve_inport_entry.
+        self._inport_entries: dict = {}
 
     def can_process(self, tag: int) -> bool:
         return tag in self.entries
 
-    def process(self, packet: Packet) -> list:
+    def resolve_inport_entry(self, tag: int, packet: Packet, port: int) -> int:
+        """Entry index with leading ``inport``-only branches pre-resolved.
+
+        Packets of one ingress port all take the same side of every
+        branch whose test reads only the ``inport`` field (the shape
+        :func:`~repro.analysis.sharding.shard_by_inport` compiles to), so
+        the resolution is computed once per (tag, port) — by running the
+        *actual lowered test closures* on the first such packet — and
+        cached.  Used by the sharded engine's per-shard lanes.
+        """
+        key = (tag, port)
+        cached = self._inport_entries.get(key)
+        if cached is not None:
+            return cached
+        idx = self.entries[tag]
+        instructions, ops = self.instructions, self._ops
+        while True:
+            instr = instructions[idx]
+            if not (
+                type(instr) is IBranch
+                and type(instr.test) is FieldValueTest
+                and instr.test.field == "inport"
+            ):
+                break
+            idx = instr.on_true if ops[idx][1](packet) else instr.on_false
+        self._inport_entries[key] = idx
+        return idx
+
+    def process(self, packet: Packet, entry: int | None = None) -> list:
         """Run the packet (and its forked copies) to pause/emit/drop.
 
         Executes the lowered opcode table (see ``_lower``); a packet's run
-        is atomic with respect to the switch's state tables.
+        is atomic with respect to the switch's state tables.  ``entry``
+        overrides the tag-derived entry point (for pre-resolved entries
+        from :meth:`resolve_inport_entry`).
         """
-        tag = packet.get(SNAP_NODE)
-        entry = self.entries.get(tag)
+        if entry is None:
+            tag = packet.get(SNAP_NODE)
+            entry = self.entries.get(tag)
         if entry is None:
             raise DataPlaneError(
                 f"switch {self.switch} cannot process tag {tag!r}"
@@ -328,7 +361,10 @@ class SwitchProgram:
                     )
                     break
                 elif code == OP_FORK:
-                    for target in op[1]:
+                    # Reversed push: the LIFO stack then explores targets
+                    # in order, so outcomes come out in the leaf's
+                    # deterministic trie (emission) order.
+                    for target in reversed(op[1]):
                         stack.append((target, pkt))
                     break
                 else:  # OP_DROP

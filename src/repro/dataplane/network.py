@@ -95,6 +95,10 @@ class Network:
         }
         self.link_packets: dict = {}
         self.deliveries: list[DeliveryRecord] = []
+        #: Engine :func:`repro.workloads.replay` uses when none is passed
+        #: explicitly (a name or an engine instance; the controller sets
+        #: it from ``CompilerOptions.engine``).
+        self.default_engine: object = "sequential"
         self._init_routing_indices()
 
     def _init_routing_indices(self) -> None:
@@ -156,6 +160,7 @@ class Network:
         dup.switches = self.switches
         dup.link_packets = {}
         dup.deliveries = []
+        dup.default_engine = self.default_engine
         dup._init_routing_indices()
         return dup
 
@@ -217,7 +222,6 @@ class Network:
         source (the BFS parent pointers point toward the target), replacing
         the per-source shortest-path calls this table was built from."""
         if target not in self._default_done:
-            self._default_done.add(target)
             default_next = self._default_next
             adjacency = self.topology.graph.pred  # reverse edges of the DiGraph
             visited = {target}
@@ -229,6 +233,10 @@ class Network:
                         visited.add(prev)
                         default_next[(prev, target)] = node
                         frontier.append(prev)
+            # Marked done only after the table is fully populated, so a
+            # concurrent reader (sharded-engine lanes share this cache)
+            # never observes a half-filled route table.
+            self._default_done.add(target)
         return self._default_next.get((source, target))
 
     # -- packet walking -----------------------------------------------------------
@@ -283,9 +291,11 @@ class Network:
         step = self._step
         while queue:
             if scheduler is not None:
-                pending = list(queue)
-                index = scheduler(pending)
-                packet, switch, hops = pending[index]
+                # The deque is handed to the scheduler directly (it only
+                # needs len() and indexing); copying it to a list every
+                # hop made adversarial-scheduler soaks quadratic.
+                index = scheduler(queue)
+                packet, switch, hops = queue[index]
                 del queue[index]
             elif interleave:
                 packet, switch, hops = queue.popleft()
@@ -293,11 +303,20 @@ class Network:
                 packet, switch, hops = queue.pop()
             if hops > MAX_HOPS:
                 raise DataPlaneError("packet exceeded hop limit (routing loop?)")
-            for item in step(packet, switch, hops):
+            items = step(packet, switch, hops)
+            in_flight = []
+            for item in items:
                 if type(item) is DeliveryRecord:
                     records.append(item)
                 else:
-                    queue.append(item)
+                    in_flight.append(item)
+            if interleave or scheduler is not None:
+                queue.extend(in_flight)
+            else:
+                # Sequential mode pops from the right: push copies in
+                # reverse so they run depth-first in the order the switch
+                # emitted them, matching the OBS evaluation order.
+                queue.extend(reversed(in_flight))
         return records
 
     def _step(self, packet: Packet, switch: str, hops: int) -> list:

@@ -151,6 +151,9 @@ class PlacementModel:
         self.model = Model("snap-te" if fixed_placement else "snap-st")
         self.route_vars: dict = {}
         self.place_vars: dict = {}
+        #: (flow, link) -> original bounds, recorded by :meth:`fail_link`
+        #: so :meth:`restore_link` reinstates exactly those.
+        self._saved_bounds: dict = {}
         self._build()
 
     # -- placement value helpers (variable in ST, constant in TE) -----------
@@ -358,22 +361,38 @@ class PlacementModel:
         This is the paper's "incremental modification" path: the standing
         model is patched in O(flows) time instead of being rebuilt.
         PS variables follow automatically through ``PS <= R``.
+
+        The variables' original bounds are recorded (once — repeated
+        failures of the same link don't overwrite them with the pinned
+        zeros) so :meth:`restore_link` can reinstate exactly what the
+        model had before, making fail/restore cycles idempotent.
         """
+        saved = self._saved_bounds
         links = [(a, b)] + ([(b, a)] if bidirectional else [])
         for link in links:
             for flow in self.inputs.flows:
                 var = self.route_vars.get((flow, link))
                 if var is not None:
+                    if (flow, link) not in saved:
+                        saved[(flow, link)] = (var.lower, var.upper)
                     self.model.set_var_bounds(var, 0.0, 0.0)
 
     def restore_link(self, a: str, b: str, bidirectional: bool = True) -> None:
-        """Undo :meth:`fail_link`."""
+        """Undo :meth:`fail_link`, restoring the recorded original bounds.
+
+        A no-op for links that were never failed: restoring such a link
+        must not touch bounds the model never changed.
+        """
+        saved = self._saved_bounds
         links = [(a, b)] + ([(b, a)] if bidirectional else [])
         for link in links:
             for flow in self.inputs.flows:
+                bounds = saved.pop((flow, link), None)
+                if bounds is None:
+                    continue
                 var = self.route_vars.get((flow, link))
                 if var is not None:
-                    self.model.set_var_bounds(var, 0.0, 1.0)
+                    self.model.set_var_bounds(var, *bounds)
 
     def set_demands(self, new_demands: dict) -> None:
         """Patch the traffic matrix in place (same flow set required).

@@ -8,6 +8,7 @@ verifying the distributed realization against the specification.
 
 from __future__ import annotations
 
+from repro.dataplane.engine import get_engine
 from repro.dataplane.network import Network
 from repro.lang import ast
 from repro.lang.semantics import eval_policy
@@ -53,14 +54,20 @@ class ReplayStats:
         )
 
 
-def replay(trace: Trace, network: Network) -> ReplayStats:
-    """Inject the trace sequentially; returns delivery statistics.
+def replay(trace: Trace, network: Network, engine=None) -> ReplayStats:
+    """Drive the trace through the network; returns delivery statistics.
 
-    Uses the network's batched :meth:`~Network.inject_many` fast path —
-    semantically identical to per-packet ``inject`` calls.
+    ``engine`` picks the execution engine (``"sequential"`` |
+    ``"sharded"`` | an engine instance); when ``None`` the network's
+    ``default_engine`` applies (``CompilerOptions.engine`` for networks
+    obtained from :meth:`SnapController.network`).  Every engine is
+    delivery-equivalent to per-packet :meth:`~Network.inject` calls.
     """
+    if engine is None:
+        engine = getattr(network, "default_engine", "sequential")
+    runner = get_engine(engine)
     stats = ReplayStats()
-    for records in network.inject_many(trace):
+    for records in runner.run(network, trace):
         stats.record(records)
     return stats
 

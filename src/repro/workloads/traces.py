@@ -36,13 +36,29 @@ class Trace:
         return Trace(f"{self.name}+{other.name}", self.arrivals + other.arrivals)
 
     def interleaved_with(self, other: "Trace", seed=0) -> "Trace":
-        """Random stable interleaving of two traces (per-trace order kept)."""
+        """Random stable interleaving of two traces (per-trace order kept).
+
+        Deterministic for a given seed.  Index pointers, not ``pop(0)``:
+        the merge is O(n), which matters for the long replay traces the
+        data-plane engine benchmarks interleave.
+        """
         rng = make_rng(seed)
-        a, b = list(self.arrivals), list(other.arrivals)
+        a, b = self.arrivals, other.arrivals
+        i = j = 0
         merged = []
-        while a or b:
-            take_a = bool(a) and (not b or rng.random() < len(a) / (len(a) + len(b)))
-            merged.append(a.pop(0) if take_a else b.pop(0))
+        while i < len(a) or j < len(b):
+            remaining_a = len(a) - i
+            remaining_b = len(b) - j
+            take_a = remaining_a > 0 and (
+                remaining_b == 0
+                or rng.random() < remaining_a / (remaining_a + remaining_b)
+            )
+            if take_a:
+                merged.append(a[i])
+                i += 1
+            else:
+                merged.append(b[j])
+                j += 1
         return Trace(f"{self.name}|{other.name}", merged)
 
     def __repr__(self):

@@ -216,3 +216,81 @@ class TestNetworkConcurrent:
         records = net.inject_concurrent(batch)
         assert len(records) == 5
         assert all(r.egress == 2 for r in records)
+
+    def test_scheduler_sees_live_queue_without_copying(self):
+        """The pending queue is handed to the scheduler directly; copying
+        it to a fresh list per hop made adversarial soaks quadratic."""
+        from collections import deque
+
+        topo = line_topology(3)
+        xfdd, deps, mapping, demands, solution, routing = compile_case(SIMPLE, topo)
+        net = Network(
+            topo, xfdd, solution.placement, routing, mapping, demands, {"s": False}
+        )
+        seen = []
+
+        def scheduler(pending):
+            seen.append(pending)
+            return len(pending) - 1  # adversarial: always the newest hop
+
+        batch = [(make_packet(srcip=i), 1) for i in range(4)]
+        records = net.inject_concurrent(batch, scheduler=scheduler)
+        assert len(records) == 4
+        assert all(type(pending) is deque for pending in seen)
+        assert all(pending is seen[0] for pending in seen)
+
+
+def star_topology():
+    """Three ports on three edge switches around one core."""
+    topo = Topology("star")
+    for name in ("s1", "s2", "s3", "c"):
+        topo.add_switch(name)
+    for edge in ("s1", "s2", "s3"):
+        topo.add_link(edge, "c", 100.0)
+    topo.attach_port(1, "s1")
+    topo.attach_port(2, "s2")
+    topo.attach_port(3, "s3")
+    topo.validate()
+    return topo
+
+
+class TestMulticastDeliveryOrder:
+    """Sequential mode processes a switch's packet copies in the order the
+    switch emitted them (depth-first), so multicast delivery records come
+    out in the xFDD leaf's deterministic emission order — previously the
+    right-popping queue ran them in *reverse* emission order."""
+
+    MULTICAST = ast.Parallel(ast.Mod("outport", 2), ast.Mod("outport", 3))
+
+    def _network(self):
+        topo = star_topology()
+        xfdd, deps, mapping, demands, solution, routing = compile_case(
+            self.MULTICAST, topo, ports=(1, 2, 3)
+        )
+        return Network(
+            topo, xfdd, solution.placement, routing, mapping, demands, {}
+        )
+
+    def test_records_in_emission_order_and_match_eval(self):
+        from repro.lang.semantics import eval_policy
+        from repro.lang.state import Store
+
+        net = self._network()
+        packet = make_packet(srcip=7)
+        records = net.inject(packet, 1)
+        # Pinned: copies delivered in the leaf's emission order (outport 2
+        # first), not reversed.
+        assert [r.egress for r in records] == [2, 3]
+        _, expected, _ = eval_policy(
+            self.MULTICAST, Store({}), packet.modify("inport", 1)
+        )
+        delivered = frozenset(
+            r.packet.without("inport") for r in records if r.egress is not None
+        )
+        assert delivered == frozenset(p.without("inport") for p in expected)
+
+    def test_emission_order_stable_across_injections(self):
+        net = self._network()
+        for i in range(4):
+            records = net.inject(make_packet(srcip=i), 1)
+            assert [r.egress for r in records] == [2, 3]

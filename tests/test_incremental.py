@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.pipeline import Compiler
+from repro.core.controller import SnapController
 from repro.lang.errors import PlacementError
 from repro.milp.placement import build_placement_model
 from repro.milp.te import build_te_model
@@ -18,30 +18,30 @@ from workloads import dns_tunnel_program  # noqa: E402
 
 @pytest.fixture(scope="module")
 def compiled():
-    compiler = Compiler(campus_topology(), dns_tunnel_program(6))
-    cold = compiler.cold_start()
-    return compiler, cold
+    controller = SnapController(campus_topology(), dns_tunnel_program(6))
+    cold = controller.submit()
+    return controller, cold
 
 
 class TestIncrementalFailure:
     def test_failed_link_avoided(self, compiled):
-        compiler, cold = compiled
+        controller, cold = compiled
         assert cold.routing.path(1, 6) == ("I1", "C1", "C5", "D4")
-        result = compiler.topology_change(failed_links=[("C1", "C5")])
+        result = controller.reroute(failed_links=[("C1", "C5")])
         path = result.routing.path(1, 6)
         assert ("C1", "C5") not in set(zip(path, path[1:]))
         assert result.placement == cold.placement
 
     def test_restore_after_failure(self, compiled):
-        compiler, _ = compiled
-        compiler.topology_change(failed_links=[("C1", "C5")])
-        result = compiler.topology_change(failed_links=[])
+        controller, _ = compiled
+        controller.reroute(failed_links=[("C1", "C5")])
+        result = controller.reroute(failed_links=[])
         # The optimal path through C1-C5 is available again.
         assert result.routing.path(1, 6) == ("I1", "C1", "C5", "D4")
 
     def test_sequential_failures(self, compiled):
-        compiler, _ = compiled
-        result = compiler.topology_change(
+        controller, _ = compiled
+        result = controller.reroute(
             failed_links=[("C1", "C5"), ("C3", "C5")]
         )
         path = result.routing.path(1, 6)
@@ -49,52 +49,85 @@ class TestIncrementalFailure:
         assert ("C1", "C5") not in used and ("C3", "C5") not in used
         # I1 hangs off C1, so the path must still start I1 -> C1.
         assert path[0] == "I1" and path[1] == "C1"
-        compiler.topology_change(failed_links=[])  # restore for other tests
+        controller.reroute(failed_links=[])  # restore for other tests
 
     def test_disconnecting_failures_are_infeasible(self, compiled):
         # C1's only non-edge neighbours are C3 and C5; failing both cuts
         # ports 1 and 3 off from the rest of the network.
-        compiler, _ = compiled
+        controller, _ = compiled
         with pytest.raises(PlacementError):
-            compiler.topology_change(failed_links=[("C1", "C5"), ("C1", "C3")])
-        compiler.topology_change(failed_links=[])  # restore
+            controller.reroute(failed_links=[("C1", "C5"), ("C1", "C3")])
+        controller.reroute(failed_links=[])  # restore
 
     def test_incremental_matches_full_rebuild(self, compiled):
-        compiler, cold = compiled
-        incremental = compiler.topology_change(failed_links=[("C1", "C5")])
-        rebuilt = compiler.topology_change(
-            new_topology=campus_topology().without_link("C1", "C5")
+        controller, cold = compiled
+        incremental = controller.reroute(failed_links=[("C1", "C5")])
+        rebuilt = controller.update_topology(
+            campus_topology().without_link("C1", "C5")
         )
         assert incremental.objective == pytest.approx(rebuilt.objective, rel=1e-6)
-        compiler.topology_change(new_topology=campus_topology())
+        controller.update_topology(campus_topology())
+
+    def test_repeated_fail_restore_cycles_are_idempotent(self, compiled):
+        """Each fail/restore cycle patches the *same* standing model and
+        lands on the same answer: restore reinstates the original variable
+        bounds it recorded, instead of resetting them wholesale."""
+        controller, _ = compiled
+        controller.reroute(failed_links=[])  # ensure a standing model
+        builds_before = controller.backend.calls["te_model_builds"]
+        baseline = controller.reroute(failed_links=[])
+        failed_objectives, restored_objectives = [], []
+        for _ in range(3):
+            failed = controller.fail_link("C1", "C5")
+            failed_objectives.append(failed.objective)
+            assert ("C1", "C5") not in set(
+                zip(failed.routing.path(1, 6), failed.routing.path(1, 6)[1:])
+            )
+            restored = controller.restore_link("C1", "C5")
+            restored_objectives.append(restored.objective)
+            assert restored.routing.path(1, 6) == baseline.routing.path(1, 6)
+        assert all(
+            obj == pytest.approx(failed_objectives[0], rel=1e-9)
+            for obj in failed_objectives
+        )
+        assert all(
+            obj == pytest.approx(baseline.objective, rel=1e-9)
+            for obj in restored_objectives
+        )
+        # The whole sequence patched one standing model — never a rebuild.
+        assert controller.backend.calls["te_model_builds"] == builds_before
 
 
 class TestIncrementalDemands:
     def test_demand_shift_changes_objective(self, compiled):
-        compiler, cold = compiled
-        base = compiler.topology_change(failed_links=[])
-        shifted = dict(compiler.demands)
+        controller, cold = compiled
+        base = controller.reroute(failed_links=[])
+        shifted = dict(controller.demands)
         for u in range(1, 6):
             shifted[(u, 6)] = shifted[(u, 6)] * 4
-        result = compiler.topology_change(new_demands=shifted)
+        result = controller.reroute(demands=shifted)
         assert result.objective > base.objective
+        controller.reroute(demands=dict(cold.demands))  # restore
 
     def test_new_flow_set_rejected(self, compiled):
-        compiler, cold = compiled
-        compiler.topology_change(failed_links=[])  # ensure standing model
-        bad = dict(compiler.demands)
+        controller, cold = compiled
+        controller.reroute(failed_links=[])  # ensure standing model
+        bad = dict(controller.demands)
         bad.pop(sorted(bad)[0])
         with pytest.raises(PlacementError):
-            compiler._te_model.set_demands(bad)
+            controller._te_model.set_demands(bad)
 
 
 class TestModelPatchingDirect:
-    def test_fail_and_restore_roundtrip(self, compiled):
-        compiler, cold = compiled
-        model = build_te_model(
-            campus_topology(), compiler.demands, cold.mapping,
-            cold.dependencies, cold.placement,
+    def _model(self, compiled):
+        controller, cold = compiled
+        return build_te_model(
+            campus_topology(), dict(controller.demands), cold.mapping,
+            cold.dependencies, dict(cold.placement),
         )
+
+    def test_fail_and_restore_roundtrip(self, compiled):
+        model = self._model(compiled)
         before = model.solve().objective
         model.fail_link("C1", "C5")
         degraded = model.solve().objective
@@ -103,13 +136,45 @@ class TestModelPatchingDirect:
         assert model.solve().objective == pytest.approx(before, rel=1e-6)
 
     def test_patched_solution_validates(self, compiled):
-        compiler, cold = compiled
-        model = build_te_model(
-            campus_topology(), compiler.demands, cold.mapping,
-            cold.dependencies, cold.placement,
-        )
+        _, cold = compiled
+        model = self._model(compiled)
         model.fail_link("C1", "C5")
         solution = model.solve()
         degraded = campus_topology().without_link("C1", "C5")
         routing = extract_paths(solution, degraded, cold.mapping, cold.dependencies)
         validate_solution(routing, degraded, cold.mapping, cold.dependencies)
+
+    def test_restore_of_never_failed_link_is_a_noop(self, compiled):
+        """Restoring a healthy link must not touch bounds the model never
+        changed — previously it reset every route variable to [0, 1]."""
+        model = self._model(compiled)
+        flow = model.inputs.flows[0]
+        target = next(
+            var for (f, link), var in model.route_vars.items()
+            if f == flow and link == ("C1", "C5")
+        )
+        # A caller-customized bound (e.g. a pinned route) survives a
+        # restore of a link that was never failed.
+        model.model.set_var_bounds(target, 0.0, 0.5)
+        model.restore_link("C1", "C5")
+        assert (target.lower, target.upper) == (0.0, 0.5)
+
+    def test_restore_reinstates_recorded_bounds(self, compiled):
+        """fail/restore reinstates exactly the pre-failure bounds, and a
+        double failure doesn't overwrite the recording with zeros."""
+        model = self._model(compiled)
+        flow = model.inputs.flows[0]
+        target = next(
+            var for (f, link), var in model.route_vars.items()
+            if f == flow and link == ("C1", "C5")
+        )
+        model.model.set_var_bounds(target, 0.0, 0.5)
+        model.fail_link("C1", "C5")
+        model.fail_link("C1", "C5")  # repeated failure: still recorded once
+        assert (target.lower, target.upper) == (0.0, 0.0)
+        model.restore_link("C1", "C5")
+        assert (target.lower, target.upper) == (0.0, 0.5)
+        # A second restore is a no-op, not another reset.
+        model.model.set_var_bounds(target, 0.0, 0.25)
+        model.restore_link("C1", "C5")
+        assert (target.lower, target.upper) == (0.0, 0.25)

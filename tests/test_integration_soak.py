@@ -11,7 +11,7 @@ compilation report.
 import numpy as np
 import pytest
 
-from repro.core.pipeline import Compiler
+from repro.core.controller import SnapController
 from repro.core.program import Program
 from repro.core.report import compilation_report
 from repro.apps import assign_egress, default_subnets, dns_tunnel_detect, port_assumption
@@ -62,8 +62,8 @@ def random_arrivals(rng, count):
 @pytest.mark.parametrize("seed", [0, 1])
 def test_soak_distributed_equals_obs(seed):
     program = build_program()
-    compiler = Compiler(campus_topology(), program)
-    result = compiler.cold_start()
+    controller = SnapController(campus_topology(), program)
+    result = controller.submit()
     network = result.build_network()
     policy = program.full_policy()
     ref_store = Store(program.state_defaults)
@@ -84,8 +84,8 @@ def test_soak_survives_te_reroute():
     """Re-optimize routing mid-stream; state stays put and consistent."""
     program = build_program()
     topology = campus_topology()
-    compiler = Compiler(topology, program)
-    result = compiler.cold_start()
+    controller = SnapController(topology, program)
+    result = controller.submit()
     network = result.build_network()
     policy = program.full_policy()
     ref_store = Store(program.state_defaults)
@@ -110,7 +110,7 @@ def test_soak_survives_te_reroute():
     }
 
     degraded = topology.without_link("C1", "C5")
-    rerouted = compiler.topology_change(new_topology=degraded)
+    rerouted = controller.update_topology(degraded)
     assert rerouted.placement == result.placement
     network2 = rerouted.build_network()
     # Carry the state over (placement unchanged, so per-switch state maps 1:1).
@@ -124,8 +124,8 @@ def test_soak_survives_te_reroute():
 
 def test_report_renders():
     program = build_program()
-    compiler = Compiler(campus_topology(), program)
-    result = compiler.cold_start()
+    controller = SnapController(campus_topology(), program)
+    result = controller.submit()
     network = result.build_network()
     text = compilation_report(result, network)
     assert "state placement:" in text

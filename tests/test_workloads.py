@@ -17,7 +17,7 @@ from repro.apps import (
     syn_flood_detect,
     tcp_state_machine,
 )
-from repro.core.pipeline import Compiler
+from repro.core.controller import SnapController
 from repro.core.program import Program
 from repro.lang import ast
 from repro.lang.values import Symbol
@@ -41,7 +41,7 @@ def compiled_network(app, guard=None):
         state_defaults=app.state_defaults,
         name=app.name,
     )
-    result = Compiler(campus_topology(), program).cold_start()
+    result = SnapController(campus_topology(), program).submit()
     return result.build_network(), program
 
 
@@ -58,6 +58,34 @@ class TestGenerators:
         merged = a.interleaved_with(b, seed=1)
         only_a = [p for p, _ in merged if p.get("tcp.flags") == Symbol("SYN")]
         assert only_a == [p for p, _ in a]
+
+    def test_interleave_contract(self):
+        """The full merge contract: every arrival of both traces appears
+        exactly once, each trace's internal order is preserved, the input
+        traces are not consumed, and a seed fully determines the result."""
+        a = workloads.syn_flood(ip("10.0.1.1"), 1, ip("10.0.6.1"), count=37)
+        b = workloads.udp_flood(ip("10.0.2.2"), 2, ip("10.0.6.1"), count=23)
+        a_before, b_before = list(a), list(b)
+        merged = a.interleaved_with(b, seed=5)
+        assert len(merged) == len(a) + len(b)
+        # Source traces untouched (the old pop(0) merge copied first, but
+        # the contract should not depend on that accident).
+        assert list(a) == a_before and list(b) == b_before
+        # Stability: each trace's arrivals appear in their original order.
+        arrivals = list(merged)
+        only_a = [x for x in arrivals if x in a_before]
+        only_b = [x for x in arrivals if x in b_before]
+        assert only_a == a_before
+        assert only_b == b_before
+        # Determinism: same seed, same interleaving; the seed matters.
+        assert list(a.interleaved_with(b, seed=5)) == arrivals
+        assert list(a.interleaved_with(b, seed=6)) != arrivals
+
+    def test_interleave_with_empty_trace(self):
+        a = workloads.syn_flood(ip("10.0.1.1"), 1, ip("10.0.6.1"), count=3)
+        empty = workloads.Trace("empty", [])
+        assert list(a.interleaved_with(empty, seed=0)) == list(a)
+        assert list(empty.interleaved_with(a, seed=0)) == list(a)
 
     def test_deterministic(self):
         t1 = workloads.background_traffic(SUBNETS, count=10, seed=5)

@@ -13,7 +13,7 @@ from hypothesis import HealthCheck, given, settings
 
 from repro.apps.chimera import dns_tunnel_detect
 from repro.apps.routing import assign_egress, default_subnets, port_assumption
-from repro.core.pipeline import Compiler
+from repro.core.controller import SnapController
 from repro.core.program import Program
 from repro.lang import ast
 from repro.lang.errors import CompileError, RaceConditionError
@@ -131,20 +131,20 @@ class TestFactoryScoping:
         assert len(default_factory()) == before
 
     def test_second_compilation_does_not_grow_first_intern_table(self):
-        """Back-to-back Compiler runs use disjoint hash-consing sessions."""
+        """Back-to-back controller sessions use disjoint hash-consing sessions."""
         topology = campus_topology()
-        first = Compiler(topology, _campus_program()).cold_start()
+        first = SnapController(topology, _campus_program()).submit()
         factory_one = first.diagram_factory
         assert factory_one is not None
         size_one = len(factory_one)
         assert size_one > 2  # it actually interned this program's nodes
-        second = Compiler(topology, _campus_program()).cold_start()
+        second = SnapController(topology, _campus_program()).submit()
         assert len(factory_one) == size_one
         assert second.diagram_factory is not factory_one
         assert len(second.diagram_factory) == size_one  # same program, same table
 
     def test_compilation_exposes_cache_stats(self):
-        result = Compiler(campus_topology(), _campus_program()).cold_start()
+        result = SnapController(campus_topology(), _campus_program()).submit()
         assert result.model_stats["xfdd_cache_hits"] > 0
         assert result.model_stats["xfdd_cache_misses"] > 0
         assert result.model_stats["xfdd_intern_size"] == len(result.diagram_factory)
