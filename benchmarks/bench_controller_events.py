@@ -11,18 +11,15 @@ Results are merged into ``BENCH_xfdd.json`` under ``controller_events``
 so the trajectory is tracked next to the composition-engine numbers.
 """
 
-import json
 import time
-from pathlib import Path
 
 from repro.apps.chimera import dns_tunnel_detect
 from repro.apps.fast import stateful_firewall
 from repro.core.controller import SnapController
 from repro.topology.campus import campus_topology
 
+from conftest import merge_bench_results
 from workloads import dns_tunnel_program, print_table
-
-_JSON_PATH = Path(__file__).parent / "BENCH_xfdd.json"
 
 #: (label, event callable) — the repeating post-cold-start event mix.
 NUM_PORTS = 6
@@ -107,12 +104,10 @@ def test_event_sequence_throughput(benchmark):
           f"(standing TE model builds: {calls['te_model_builds']}, "
           f"re-solves: {calls['te_solves']})")
 
-    data = json.loads(_JSON_PATH.read_text()) if _JSON_PATH.exists() else {}
-    data["controller_events"] = {
+    merge_bench_results("controller_events", {
         "events": events,
         "total_s": round(total, 4),
         "events_per_s": round(throughput, 2),
         "backend_calls": calls,
         "per_event": summary,
-    }
-    _JSON_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    })

@@ -12,9 +12,7 @@ are merged into ``BENCH_xfdd.json`` under ``dataplane_engine``.
 """
 
 import gc
-import json
 import time
-from pathlib import Path
 
 from repro.analysis.sharding import shard_by_inport, shard_defaults
 from repro.apps import assign_egress, default_subnets, port_assumption
@@ -26,9 +24,8 @@ from repro.lang import ast
 from repro.topology.campus import campus_topology
 from repro.workloads import background_traffic
 
+from conftest import merge_bench_results
 from workloads import print_table
-
-_JSON_PATH = Path(__file__).parent / "BENCH_xfdd.json"
 
 NUM_PORTS = 6
 SUBNETS = default_subnets(NUM_PORTS)
@@ -151,6 +148,4 @@ def test_zz_report(benchmark):
          "sharded pkt/s", "speedup"),
         _RESULTS,
     )
-    data = json.loads(_JSON_PATH.read_text()) if _JSON_PATH.exists() else {}
-    data["dataplane_engine"] = _SUMMARY
-    _JSON_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    merge_bench_results("dataplane_engine", _SUMMARY)

@@ -1,0 +1,235 @@
+"""Process-pool data-plane engine vs thread lanes vs sequential, plus the
+batched OBS mirror.
+
+The campus sharded workload (§7.3 / Appendix C): ``count[inport]++``
+split into per-port shards, compiled onto the campus topology, replayed
+under gravity-weighted background traffic on three engines — sequential,
+thread lanes (``ShardedEngine``), and worker processes
+(``ProcessPoolEngine``).  The single-lane dns-tunnel control pins the
+engine's inline fallback: one shard gains nothing from IPC, so the
+process engine runs it on the calling thread (its numbers should track
+the single-worker thread lane).  The OBS section times the sequential
+``eval`` mirror against the per-shard batched mirror on the same trace.
+
+Equivalence is asserted on the measured runs themselves (records, final
+stores, link counters; byte-identical OBS outputs).  Results are merged
+into ``BENCH_xfdd.json`` under ``process_engine`` — honest numbers: on a
+single-CPU host process lanes cannot beat the GIL-free baseline, and the
+recorded ``cpus`` field says how to read the speedups.
+
+Smoke mode for CI: ``PROCESS_ENGINE_SMOKE=1`` shrinks the trace and runs
+2 workers.
+"""
+
+import gc
+import os
+import time
+
+from repro.analysis.sharding import shard_by_inport, shard_defaults
+from repro.apps import assign_egress, default_subnets, port_assumption
+from repro.apps.chimera import dns_tunnel_detect
+from repro.core.controller import SnapController
+from repro.core.program import Program
+from repro.dataplane.engine import (
+    ProcessPoolEngine,
+    SequentialEngine,
+    ShardedEngine,
+    plan_for,
+)
+from repro.lang import ast
+from repro.lang.state import Store
+from repro.topology.campus import campus_topology
+from repro.workloads import BatchedObsEngine, background_traffic, replay_obs
+
+from conftest import merge_bench_results
+from workloads import print_table
+
+SMOKE = os.environ.get("PROCESS_ENGINE_SMOKE") == "1"
+
+NUM_PORTS = 6
+SUBNETS = default_subnets(NUM_PORTS)
+PACKETS = 1500 if SMOKE else 8000
+OBS_PACKETS = 600 if SMOKE else 3000
+ROUNDS = 3 if SMOKE else 5
+WORKERS = 2 if SMOKE else 4
+
+_RESULTS = []
+_SUMMARY = {
+    "packets": PACKETS,
+    "workers": WORKERS,
+    "cpus": os.cpu_count(),
+    "smoke": SMOKE,
+    "workloads": {},
+}
+
+
+def sharded_monitor_snapshot():
+    ports = list(range(1, NUM_PORTS + 1))
+    body = ast.Seq(
+        ast.StateIncr("count", ast.Field("inport")), assign_egress(SUBNETS)
+    )
+    program = Program(
+        shard_by_inport(body, "count", ports),
+        assumption=port_assumption(SUBNETS),
+        state_defaults=shard_defaults({"count": 0}, "count", ports),
+        name="monitor-sharded",
+    )
+    return SnapController(campus_topology(), program).submit(), program
+
+
+def dns_tunnel_snapshot():
+    app = dns_tunnel_detect()
+    program = Program(
+        ast.Seq(app.policy, assign_egress(SUBNETS)),
+        assumption=port_assumption(SUBNETS),
+        state_defaults=app.state_defaults,
+        name=app.name,
+    )
+    return SnapController(campus_topology(), program).submit(), program
+
+
+def _best_time(engine, snapshot, trace):
+    """Best-of-N wall time; fresh network per round (state restarts).
+
+    The engine instance is reused across rounds, so the process pool and
+    its worker caches are warm after round one — the steady-state number
+    a long-lived session sees.
+    """
+    best = float("inf")
+    records = network = None
+    for _ in range(ROUNDS):
+        network = snapshot.build_network()
+        gc.collect()
+        gc.disable()
+        start = time.perf_counter()
+        records = engine.run(network, trace)
+        elapsed = time.perf_counter() - start
+        gc.enable()
+        best = min(best, elapsed)
+    return best, records, network
+
+
+def _record_view(records):
+    return [(r.egress, r.hops, r.packet) for r in records]
+
+
+def _compare(name, snapshot, benchmark):
+    trace = list(background_traffic(SUBNETS, count=PACKETS, seed=7))
+    plan = plan_for(snapshot.build_network())
+    process_engine = ProcessPoolEngine(max_workers=WORKERS)
+
+    def run():
+        try:
+            seq_time, seq_records, seq_net = _best_time(
+                SequentialEngine(), snapshot, trace
+            )
+            thread_time, thread_records, thread_net = _best_time(
+                ShardedEngine(max_workers=WORKERS), snapshot, trace
+            )
+            proc_time, proc_records, proc_net = _best_time(
+                process_engine, snapshot, trace
+            )
+        finally:
+            process_engine.close()
+        # Delivery equivalence, asserted on the measured runs themselves.
+        assert len(seq_records) == len(proc_records) == PACKETS
+        for a, b, c in zip(seq_records, thread_records, proc_records):
+            assert _record_view(a) == _record_view(b) == _record_view(c)
+        assert seq_net.global_store() == proc_net.global_store()
+        assert seq_net.link_packets == proc_net.link_packets
+        assert thread_net.global_store() == proc_net.global_store()
+        return seq_time, thread_time, proc_time
+
+    seq_time, thread_time, proc_time = benchmark.pedantic(
+        run, iterations=1, rounds=1
+    )
+    row = {
+        "packets": PACKETS,
+        "shards": plan.parallelism,
+        "sequential_pps": round(PACKETS / seq_time),
+        "thread_pps": round(PACKETS / thread_time),
+        "process_pps": round(PACKETS / proc_time),
+        "process_vs_sequential": round(seq_time / proc_time, 2),
+        "process_vs_thread": round(thread_time / proc_time, 2),
+    }
+    _SUMMARY["workloads"][name] = row
+    _RESULTS.append(
+        (
+            name,
+            plan.parallelism,
+            f"{row['sequential_pps']:,}",
+            f"{row['thread_pps']:,}",
+            f"{row['process_pps']:,}",
+            f"{row['process_vs_thread']:.2f}x",
+        )
+    )
+    return row
+
+
+def test_campus_sharded_workload(benchmark):
+    """The headline workload: six disjoint lanes on worker processes."""
+    snapshot, _ = sharded_monitor_snapshot()
+    row = _compare("monitor-sharded", snapshot, benchmark)
+    assert row["process_pps"] > 0
+
+
+def test_single_lane_control(benchmark):
+    """Global state: one lane — the engine's inline fallback, no IPC."""
+    snapshot, _ = dns_tunnel_snapshot()
+    row = _compare("dns-tunnel-detect", snapshot, benchmark)
+    assert row["process_pps"] > 0
+
+
+def test_obs_mirror(benchmark):
+    """Sequential eval mirror vs the per-shard batched mirror."""
+    snapshot, program = sharded_monitor_snapshot()
+    policy = program.full_policy()
+    trace = list(background_traffic(SUBNETS, count=OBS_PACKETS, seed=5))
+    batched = BatchedObsEngine(max_workers=WORKERS)
+
+    def run():
+        try:
+            best_seq = best_batched = float("inf")
+            for _ in range(ROUNDS):
+                start = time.perf_counter()
+                ref = replay_obs(trace, policy, Store(program.state_defaults))
+                best_seq = min(best_seq, time.perf_counter() - start)
+                start = time.perf_counter()
+                got = replay_obs(
+                    trace, policy, Store(program.state_defaults), engine=batched
+                )
+                best_batched = min(best_batched, time.perf_counter() - start)
+            # Byte-identical mirror, asserted on the measured runs.
+            assert got[1] == ref[1]
+            assert got[0] == ref[0]
+        finally:
+            batched.close()
+        return best_seq, best_batched
+
+    seq_time, batched_time = benchmark.pedantic(run, iterations=1, rounds=1)
+    _SUMMARY["obs_mirror"] = {
+        "packets": OBS_PACKETS,
+        "sequential_pps": round(OBS_PACKETS / seq_time),
+        "batched_pps": round(OBS_PACKETS / batched_time),
+        "speedup": round(seq_time / batched_time, 2),
+    }
+    assert _SUMMARY["obs_mirror"]["batched_pps"] > 0
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    assert len(_RESULTS) == 2 and "obs_mirror" in _SUMMARY
+    print_table(
+        f"Process-pool engine ({WORKERS} workers, {os.cpu_count()} CPUs, "
+        f"{PACKETS} packets)",
+        ("workload", "shards", "sequential pkt/s", "thread pkt/s",
+         "process pkt/s", "process/thread"),
+        _RESULTS,
+    )
+    obs = _SUMMARY["obs_mirror"]
+    print(
+        f"\nOBS mirror ({obs['packets']} packets): sequential "
+        f"{obs['sequential_pps']:,} pkt/s, batched {obs['batched_pps']:,} "
+        f"pkt/s ({obs['speedup']:.2f}x)"
+    )
+    merge_bench_results("process_engine", _SUMMARY)

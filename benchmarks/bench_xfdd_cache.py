@@ -7,9 +7,7 @@ reports the hit rate and intern-table size.  Writes a machine-readable
 trajectory of the composition engine.
 """
 
-import json
 import time
-from pathlib import Path
 
 import pytest
 
@@ -22,10 +20,10 @@ from repro.xfdd.compose import Composer
 from repro.xfdd.diagram import DiagramFactory, size
 from repro.xfdd.order import TestOrder
 
+from conftest import merge_bench_results
 from workloads import print_table
 
 _RESULTS = []
-_JSON_PATH = Path(__file__).parent / "BENCH_xfdd.json"
 _ROUNDS = 3
 
 
@@ -99,8 +97,6 @@ def test_zz_report(benchmark):
         ],
     )
     # Merge: other benches (e.g. bench_controller_events) own other keys.
-    data = json.loads(_JSON_PATH.read_text()) if _JSON_PATH.exists() else {}
-    data["apps"] = _RESULTS
-    _JSON_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    merge_bench_results("apps", _RESULTS)
     # The engine must be caching *something* on every app.
     assert all(row["hit_rate"] > 0 for row in _RESULTS)

@@ -3,9 +3,45 @@
 Compilations are long-running, deterministic computations; we measure one
 round each (pytest-benchmark pedantic mode) and print the paper-style
 tables alongside the timing stats.
+
+:func:`merge_bench_results` is the one writer of ``BENCH_xfdd.json``:
+read-merge-write through a temp file plus an atomic ``os.replace``, so
+concurrent bench invocations (CI runs several in one job, and developers
+run them ad hoc) can never interleave into a torn or half-written file —
+the worst case for two simultaneous writers is last-merge-wins on one
+key, never corruption.
 """
 
+import json
+import os
 import sys
+import tempfile
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
+
+BENCH_JSON_PATH = Path(__file__).parent / "BENCH_xfdd.json"
+
+
+def merge_bench_results(key: str, value, path: Path = BENCH_JSON_PATH) -> None:
+    """Merge ``{key: value}`` into the benchmark trajectory file atomically."""
+    try:
+        data = json.loads(path.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        # Missing on first run; a decode error can only be a torn write
+        # from a pre-atomic-rename version — start the file over.
+        data = {}
+    data[key] = value
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(data, indent=2) + "\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -51,6 +51,7 @@ from repro.analysis.packet_state import packet_state_mapping
 from repro.core.options import CompilerOptions
 from repro.core.program import Program
 from repro.core.result import EVENT_SCENARIOS, Snapshot
+from repro.dataplane.engine import ProcessPoolEngine
 from repro.dataplane.network import Network
 from repro.dataplane.rules import build_rule_tables
 from repro.lang.errors import SnapError
@@ -105,6 +106,10 @@ class SnapController:
         # evicted once the limit is reached; `current` is always kept.
         self._history: deque = deque(maxlen=options.history_limit)
         self._network: Network | None = None
+        # Resolved engine for the live data plane.  Engines that own OS
+        # resources (the process pool) must be one instance per session,
+        # not one per replay call — created lazily in network().
+        self._engine_runner = None
         # Standing TE model (§6.2.2) and the failure set applied to it.
         self._te_model = None
         self._model_failed: set = set()
@@ -278,8 +283,36 @@ class SnapController:
         self._require_current("network")
         if self._network is None:
             self._network = self._current.build_network()
-            self._network.default_engine = self._options.engine
+            self._network.default_engine = self._session_engine()
         return self._network
+
+    def close(self) -> None:
+        """Release session resources (the process-engine worker pool).
+
+        Safe to call repeatedly; a closed session can keep issuing events
+        — the engine recreates its pool on the next replay.
+        """
+        runner = self._engine_runner
+        if runner is not None and hasattr(runner, "close"):
+            runner.close()
+
+    def _session_engine(self):
+        """``options.engine``, resolved once per session when stateful.
+
+        ``"process"`` resolves to one session-owned
+        :class:`~repro.dataplane.engine.ProcessPoolEngine` so the worker
+        pool (and its rehydration caches) survives across replays and
+        TE hot swaps; stateless engine names pass through by name.
+        """
+        engine = self._options.engine
+        if engine == "process":
+            if self._engine_runner is None:
+                # A *private* instance (not get_engine's shared one): the
+                # hot-swap restart on policy rebuilds must not tear down
+                # a pool other sessions or ad-hoc replays are using.
+                self._engine_runner = ProcessPoolEngine()
+            return self._engine_runner
+        return engine
 
     # -- internals ---------------------------------------------------------
 
@@ -442,23 +475,23 @@ class SnapController:
             self._network = self._swap_network(self._network, snapshot)
         return snapshot
 
-    @staticmethod
-    def _swap_network(live: Network, snapshot: Snapshot) -> Network:
+    def _swap_network(self, live: Network, snapshot: Snapshot) -> Network:
         """The next live data plane after ``snapshot``.
 
         * cold start — genuinely cold: fresh stores, nothing carried;
         * TE events (same xFDD, same placement) — ``rewire``: the
           compiled switch programs and their state stores are shared,
-          only routing-derived structure is rebuilt;
+          only routing-derived structure is rebuilt.  A process-engine
+          worker pool *survives* this path: the program token is
+          unchanged, so worker-side rehydration caches stay warm;
         * policy changes — full rebuild, then state-store contents
-          adopted into the new placement.
+          adopted into the new placement.  The old compiled programs are
+          gone, so a process-engine pool is restarted (fresh workers,
+          fresh caches).
         """
-        if snapshot.event == "cold_start":
-            fresh = snapshot.build_network()
-            fresh.default_engine = live.default_engine
-            return fresh
         if (
-            snapshot.xfdd is live.index.root
+            snapshot.event != "cold_start"
+            and snapshot.xfdd is live.index.root
             and dict(snapshot.placement) == live.placement
             # The compiled switch set is only reusable if the new graph
             # has the same switches and the same port attachments (link
@@ -472,7 +505,18 @@ class SnapController:
             )
         fresh = snapshot.build_network()
         fresh.default_engine = live.default_engine
-        fresh.adopt_state(live)
+        if snapshot.event != "cold_start":
+            fresh.adopt_state(live)
+        if (
+            fresh.default_engine is self._engine_runner
+            and self._engine_runner is not None
+        ):
+            # Restart only the pool this session owns: a shared or
+            # user-supplied engine instance may be serving other
+            # sessions, whose runs must not be cancelled under them
+            # (their worker caches key on exec tokens, so correctness
+            # never depends on the restart — it is memory hygiene).
+            self._engine_runner.restart()
         return fresh
 
     def __repr__(self):

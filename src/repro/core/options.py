@@ -23,8 +23,10 @@ class CompilerOptions:
     their own solver.
 
     ``engine`` selects how the session's live data plane executes
-    workloads: ``"sequential"`` (run-to-completion in arrival order) or
-    ``"sharded"`` (per-ingress state shards on parallel lanes, see
+    workloads: ``"sequential"`` (run-to-completion in arrival order),
+    ``"sharded"`` (per-ingress state shards on parallel thread lanes),
+    ``"process"`` (the same shards on a pool of worker processes — one
+    session-owned pool that survives TE hot swaps, see
     :mod:`repro.dataplane.engine`), or an engine instance.
     """
 
@@ -34,7 +36,7 @@ class CompilerOptions:
     validate: bool = True
     stateful_switches: tuple | None = None
     #: Data-plane execution engine for ``SnapController.network()``:
-    #: ``"sequential"`` | ``"sharded"`` | an engine instance.
+    #: ``"sequential"`` | ``"sharded"`` | ``"process"`` | an instance.
     engine: object = "sequential"
     #: How many snapshots ``SnapController.history()`` retains (oldest
     #: evicted first; ``current`` is always kept).  Each snapshot pins

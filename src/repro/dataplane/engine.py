@@ -36,15 +36,38 @@ xFDD's leading ``inport``-only branches are pre-resolved per shard port
 replay the same routing lookups ``_forward`` performs, entry resolution
 runs the real lowered test closures.
 
-Select the engine with ``CompilerOptions(engine="sharded")`` (threaded
-through :meth:`SnapController.network`) or pass ``engine=`` to
+Thread lanes share one interpreter, so CPU-bound packet processing still
+serializes on the GIL.  The :class:`ProcessPoolEngine` lifts that limit:
+each lane's batch ships to a *worker process* together with the shard's
+private state (:meth:`Network.extract_shard_state`), runs there against a
+rehydrated copy of the compiled data plane (see
+:class:`repro.dataplane.netasm.LoweredProgram` — the compiled closures do
+not pickle, the lowered pure-data form does), and the parent merges
+delivery records, link counters, and state-store deltas back
+deterministically (:meth:`Network.merge_shard_state`).  Workers cache the
+rehydrated programs per ``(program_key, generation)`` token, so a
+long-lived pool pays the deserialization cost once per program, not per
+batch — and a TE ``rewire`` (same programs, new routing) reuses them.
+
+Every engine honors one *lane failure contract*: if a lane raises, the
+results of lanes that completed are still merged into the network
+(records, link counters, and — for the process engine — state deltas)
+before the error is re-raised wrapped in a :class:`DataPlaneError` naming
+the failing shard.  The network is therefore never silently
+half-updated: what ran is recorded, and the exception says what did not.
+
+Select the engine with ``CompilerOptions(engine="sharded"|"process")``
+(threaded through :meth:`SnapController.network`) or pass ``engine=`` to
 :func:`repro.workloads.replay`.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
-from concurrent.futures import ThreadPoolExecutor
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.analysis.packet_state import (
@@ -59,13 +82,20 @@ from repro.dataplane.header import (
     SNAP_NODE,
     SNAP_OUTPORT,
 )
-from repro.dataplane.network import MAX_HOPS, DeliveryRecord, Network
+from repro.dataplane.netasm import from_lowered
+from repro.dataplane.network import (
+    _EXEC_KEYS,
+    MAX_HOPS,
+    DeliveryRecord,
+    Network,
+)
+from repro.dataplane.rules import RuleTables
 from repro.lang.errors import DataPlaneError, SnapError
 from repro.lang.packet import Packet
 from repro.xfdd.diagram import iter_paths
 
 #: The engine names CompilerOptions accepts.
-ENGINE_NAMES = ("sequential", "sharded")
+ENGINE_NAMES = ("sequential", "sharded", "process")
 
 
 # -- shard analysis -----------------------------------------------------------
@@ -137,16 +167,17 @@ class ShardPlan:
         return f"ShardPlan({len(self.shards)} shards: {list(self.shards)})"
 
 
-def plan_shards(network: Network) -> ShardPlan:
-    """Partition the network's ingress ports into disjoint-state shards.
+def group_ports_by_footprint(footprint: dict, ports) -> list:
+    """Union-find partition of ``ports`` into disjoint-state groups.
 
-    Union-find over ports: every state variable merges all ports whose
-    footprint contains it.  Ports with empty footprints (pure stateless
-    traffic) become singleton shards — they can run on any lane.
+    Every state variable merges all ports whose footprint contains it.
+    Ports with empty footprints (pure stateless traffic) become singleton
+    groups — they can run on any lane.  Returns
+    ``[(ports_tuple, variables_frozenset)]`` ordered by lowest member
+    port.  Shared by the data-plane shard planner and the batched OBS
+    mirror (:mod:`repro.workloads.obs_engine`).
     """
-    ports = sorted(network.topology.ports)
-    footprint = ingress_state_footprint(network.index.root, ports)
-
+    ports = list(ports)
     parent = {port: port for port in ports}
 
     def find(port):
@@ -169,17 +200,110 @@ def plan_shards(network: Network) -> ShardPlan:
     groups: dict = {}
     for port in ports:
         groups.setdefault(find(port), []).append(port)
-    shards = [
-        Shard(
+    return [
+        (
             tuple(members),
             frozenset().union(*(footprint[p] for p in members)),
         )
         for members in sorted(groups.values())
     ]
+
+
+def plan_shards(network: Network) -> ShardPlan:
+    """Partition the network's ingress ports into disjoint-state shards."""
+    ports = sorted(network.topology.ports)
+    footprint = ingress_state_footprint(network.index.root, ports)
+    shards = [
+        Shard(members, variables)
+        for members, variables in group_ports_by_footprint(footprint, ports)
+    ]
     return ShardPlan(shards, footprint)
 
 
+# -- shard-plan caching -------------------------------------------------------
+
+
+def _plan_cache_key(network: Network) -> tuple:
+    """What the shard plan actually depends on.
+
+    The plan is a function of the xFDD (state footprints walk its paths)
+    and the topology's ingress ports.  ``rewire`` builds a fresh object,
+    so it never sees a stale cache; but ``adopt_state`` and direct
+    ``index``/``switches``/port mutation reuse the object — keying the
+    cache on the root diagram and a port fingerprint makes it
+    self-invalidating on every such path.  The key holds the root
+    *object* (not its ``id``): the cache entry keeps it alive, so a
+    recycled address can never masquerade as an unchanged diagram, and
+    comparisons use identity (see :func:`_same_key`).
+    """
+    return (
+        network.index.root if network.index is not None else None,
+        tuple(sorted(network.topology.ports.items())),
+    )
+
+
+def _same_key(a: tuple, b: tuple) -> bool:
+    """Key equality: root diagram by *identity*, ports by value."""
+    return a[0] is b[0] and a[1] == b[1]
+
+
+def plan_for(network: Network) -> ShardPlan:
+    """The network's shard plan, cached on the network and keyed by
+    :func:`_plan_cache_key` so topology/xFDD mutation invalidates it."""
+    key = _plan_cache_key(network)
+    cached = getattr(network, "_shard_plan", None)
+    if cached is not None and _same_key(cached[0], key):
+        return cached[1]
+    plan = plan_shards(network)
+    network._shard_plan = (key, plan)
+    return plan
+
+
 # -- engines ------------------------------------------------------------------
+
+
+def _split_batches(plan: ShardPlan, arrivals) -> list:
+    """Arrival list -> ``[(shard_index, [(global_index, packet, port)])]``,
+    ordered by shard index, per-shard arrival order preserved."""
+    shard_of = plan.shard_of
+    batches: dict = {}
+    for index, (packet, port) in enumerate(arrivals):
+        shard = shard_of.get(port)
+        if shard is None:
+            raise DataPlaneError(f"no OBS port {port} in the topology")
+        batches.setdefault(shard, []).append((index, packet, port))
+    return sorted(batches.items())
+
+
+def _merge_lane_outcomes(network: Network, lane_results, total: int,
+                         complete: bool):
+    """Deterministic merge: records in global arrival order, link counters
+    summed.  With ``complete=False`` (a lane failed) the completed lanes'
+    records and counters are still merged — the failure contract — and
+    ``None`` is returned instead of a result list."""
+    by_index: dict = {}
+    link_packets = network.link_packets
+    for records_by_index, links in lane_results:
+        by_index.update(records_by_index)
+        for link, count in links.items():
+            link_packets[link] = link_packets.get(link, 0) + count
+    deliveries = network.deliveries
+    if complete:
+        results = [by_index[index] for index in range(total)]
+        for records in results:
+            deliveries.extend(records)
+        return results
+    for index in sorted(by_index):
+        deliveries.extend(by_index[index])
+    return None
+
+
+def _raise_lane_failure(plan: ShardPlan, shard_index: int, exc: Exception):
+    shard = plan.shards[shard_index]
+    raise DataPlaneError(
+        f"execution lane for shard {shard_index} "
+        f"(ports {list(shard.ports)}) failed: {exc}"
+    ) from exc
 
 
 class SequentialEngine:
@@ -212,50 +336,225 @@ class ShardedEngine:
     def run(self, network: Network, arrivals) -> list:
         arrivals = list(arrivals)
         plan = self.plan_for(network)
-        shard_of = plan.shard_of
-        batches: dict = {}
-        for index, (packet, port) in enumerate(arrivals):
-            shard = shard_of.get(port)
-            if shard is None:
-                raise DataPlaneError(f"no OBS port {port} in the topology")
-            batches.setdefault(shard, []).append((index, packet, port))
-
+        batches = _split_batches(plan, arrivals)
         lanes = [
-            _Lane(network, plan.shards[shard], batch)
-            for shard, batch in sorted(batches.items())
+            (shard_index, _Lane(network, plan.shards[shard_index], batch))
+            for shard_index, batch in batches
         ]
         workers = self.max_workers or os.cpu_count() or 1
         workers = min(workers, len(lanes))
+        outcomes: list = []
+        failure = None
         if workers > 1:
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                lane_results = list(pool.map(_Lane.run, lanes))
+                futures = [
+                    (shard_index, pool.submit(lane.run))
+                    for shard_index, lane in lanes
+                ]
+                for shard_index, future in futures:
+                    try:
+                        outcomes.append(future.result())
+                    except Exception as exc:
+                        if failure is None:
+                            failure = (shard_index, exc)
         else:
-            lane_results = [lane.run() for lane in lanes]
-
-        # Deterministic merge: records in global arrival order, link
-        # counters summed.
-        by_index: dict = {}
-        link_packets = network.link_packets
-        for records_by_index, links in lane_results:
-            by_index.update(records_by_index)
-            for link, count in links.items():
-                link_packets[link] = link_packets.get(link, 0) + count
-        results = [by_index[index] for index in range(len(arrivals))]
-        deliveries = network.deliveries
-        for records in results:
-            deliveries.extend(records)
+            # Inline: lanes run serially in shard order; a failure stops
+            # the later lanes from ever starting.
+            for shard_index, lane in lanes:
+                try:
+                    outcomes.append(lane.run())
+                except Exception as exc:
+                    failure = (shard_index, exc)
+                    break
+        results = _merge_lane_outcomes(
+            network, outcomes, len(arrivals), complete=failure is None
+        )
+        if failure is not None:
+            _raise_lane_failure(plan, *failure)
         return results
 
     def plan_for(self, network: Network) -> ShardPlan:
-        """The network's shard plan (computed once per network)."""
-        plan = getattr(network, "_shard_plan", None)
-        if plan is None:
-            plan = plan_shards(network)
-            network._shard_plan = plan
-        return plan
+        """The network's shard plan (cached, mutation-invalidated)."""
+        return plan_for(network)
 
     def __repr__(self):
         return f"ShardedEngine(max_workers={self.max_workers})"
+
+
+class ProcessPoolEngine:
+    """Per-shard parallel execution on a pool of worker *processes*.
+
+    Each disjoint-state shard's batch ships to a worker along with the
+    shard's private state; the worker runs the same compiled lane the
+    thread engine uses — against a network rehydrated from the pure-data
+    :class:`~repro.dataplane.netasm.LoweredProgram` form — and sends back
+    ``(records, link counters, state deltas)``, which the parent merges
+    in deterministic global arrival order.  Workers cache rehydrated
+    programs and networks in per-process tables keyed by the network's
+    execution tokens, so after the first batch the *rehydration* cost is
+    gone; each task still carries the (parent-side cached) spec bytes —
+    a worker cannot be targeted, so the parent cannot know which workers
+    are warm — but warm workers never deserialize them.
+
+    The pool is created lazily on first :meth:`run` and survives across
+    calls (and across TE ``rewire`` hot swaps — the program token is
+    unchanged, so worker caches stay warm).  :meth:`restart` shuts it
+    down so the next run starts fresh — the controller calls this on
+    policy rebuilds.  With one worker (or on a single-CPU host) lanes run
+    inline on the calling thread with identical semantics.
+
+    Lane failures follow the engine failure contract (see module
+    docstring): completed lanes' records, counters, *and state deltas*
+    are merged before the wrapped :class:`DataPlaneError` is raised.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+        self._pool = None
+        self._spec_cache: tuple | None = None  # (network_key, bytes)
+
+    def run(self, network: Network, arrivals) -> list:
+        arrivals = list(arrivals)
+        plan = self.plan_for(network)
+        batches = _split_batches(plan, arrivals)
+        workers = self.max_workers or os.cpu_count() or 1
+        if workers <= 1 or len(batches) <= 1:
+            # One worker or one shard: shipping everything to a single
+            # process buys no parallelism — run inline with identical
+            # semantics (state mutated in place, exactly like a
+            # completed worker merge).
+            return ShardedEngine(max_workers=1).run(network, arrivals)
+        self._refresh_exec_keys(network)
+        program_key = network._exec_program_key
+        network_key = network._exec_network_key
+        spec_bytes = self._spec_bytes(network, network_key)
+        pool = self._ensure_pool(workers)
+        futures = []
+        try:
+            for shard_index, batch in batches:
+                shard = plan.shards[shard_index]
+                payload = (
+                    program_key,
+                    network_key,
+                    spec_bytes,
+                    shard.ports,
+                    tuple(sorted(shard.variables)),
+                    network.extract_shard_state(shard.variables),
+                    batch,
+                )
+                futures.append(
+                    (shard_index, pool.submit(_process_lane, payload))
+                )
+        except BrokenProcessPool as exc:
+            # The pool died between runs (a worker was killed): discard
+            # it so the next run starts fresh, then surface the error.
+            self.close()
+            raise DataPlaneError(
+                f"process-pool engine lost its workers: {exc}"
+            ) from exc
+        outcomes: list = []
+        failure = None
+        for shard_index, future in futures:
+            try:
+                records, links, state = future.result()
+            except Exception as exc:
+                if failure is None:
+                    failure = (shard_index, exc)
+                continue
+            network.merge_shard_state(state)
+            outcomes.append((records, links))
+        if failure is not None and isinstance(failure[1], BrokenProcessPool):
+            # A worker crashed mid-batch: the executor is permanently
+            # broken — release it so the next run recreates the pool.
+            self.close()
+        results = _merge_lane_outcomes(
+            network, outcomes, len(arrivals), complete=failure is None
+        )
+        if failure is not None:
+            _raise_lane_failure(plan, *failure)
+        return results
+
+    def plan_for(self, network: Network) -> ShardPlan:
+        """The network's shard plan (cached, mutation-invalidated)."""
+        return plan_for(network)
+
+    # -- pool and spec lifecycle ------------------------------------------
+
+    @staticmethod
+    def _refresh_exec_keys(network: Network) -> None:
+        """Mint fresh worker-cache tokens after in-place mutation.
+
+        The exec tokens normally change only through ``__init__`` /
+        ``rewire``; grafting a different program onto an existing
+        network object (the same mutation path the shard-plan cache
+        self-invalidates on) would otherwise hit warm worker caches
+        built for the *old* program.  The fingerprint matches the plan
+        cache's: the xFDD root by identity plus the port map.
+        """
+        fingerprint = _plan_cache_key(network)
+        observed = getattr(network, "_exec_fingerprint", None)
+        if observed is None:
+            network._exec_fingerprint = fingerprint
+        elif not _same_key(observed, fingerprint):
+            network._exec_fingerprint = fingerprint
+            network._exec_program_key = next(_EXEC_KEYS)
+            network._exec_network_key = next(_EXEC_KEYS)
+
+    def _spec_bytes(self, network: Network, network_key) -> bytes:
+        cached = self._spec_cache
+        if cached is not None and cached[0] == network_key:
+            return cached[1]
+        spec_bytes = _network_spec_bytes(network)
+        self._spec_cache = (network_key, spec_bytes)
+        return spec_bytes
+
+    def _ensure_pool(self, workers: int):
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+            _LIVE_POOLS.append(self._pool)
+        return self._pool
+
+    def restart(self) -> None:
+        """Shut the worker pool down; the next run starts a fresh one.
+
+        Fresh workers mean fresh rehydration caches — the controller
+        calls this on policy rebuilds, where the old compiled programs
+        can never be reused.  TE rewires do *not* restart the pool.
+        """
+        self.close()
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent)."""
+        pool, self._pool = self._pool, None
+        self._spec_cache = None
+        if pool is not None:
+            if pool in _LIVE_POOLS:
+                _LIVE_POOLS.remove(pool)
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __repr__(self):
+        state = "live" if self._pool is not None else "idle"
+        return f"ProcessPoolEngine(max_workers={self.max_workers}, {state})"
+
+
+#: Pools not yet closed explicitly; drained at interpreter exit so stray
+#: worker processes never outlive the parent.
+_LIVE_POOLS: list = []
+
+
+@atexit.register
+def _shutdown_live_pools() -> None:  # pragma: no cover - exit path
+    while _LIVE_POOLS:
+        _LIVE_POOLS.pop().shutdown(wait=False, cancel_futures=True)
+
+
+#: The ProcessPoolEngine behind the *name* "process": one shared
+#: instance, so ad-hoc ``replay(..., engine="process")`` calls reuse one
+#: pool instead of leaking a fresh pool per call.  Sessions that want a
+#: private pool (``SnapController``) construct their own instance.
+_shared_process_engine: ProcessPoolEngine | None = None
 
 
 def get_engine(engine):
@@ -264,6 +563,11 @@ def get_engine(engine):
         return SequentialEngine()
     if engine == "sharded":
         return ShardedEngine()
+    if engine == "process":
+        global _shared_process_engine
+        if _shared_process_engine is None:
+            _shared_process_engine = ProcessPoolEngine()
+        return _shared_process_engine
     if hasattr(engine, "run"):
         return engine
     raise SnapError(
@@ -518,3 +822,132 @@ class _Lane:
                     return current, tuple(links)
             elif tag in switches[current].entries:
                 return current, tuple(links)
+
+
+# -- process-pool worker side -------------------------------------------------
+#
+# A worker never sees the parent's Network: it receives a *spec* — a
+# pickled dict of pure data (lowered programs, routing tables, port map,
+# reverse adjacency, packet-state mapping, placement, demands) — and
+# rehydrates a lane-capable Network from it.  Rehydration happens once per
+# process per network token; the per-program half (closure re-closing,
+# the expensive part) is cached separately so TE rewires reuse it.
+
+
+class _WorkerGraph:
+    """Reverse-adjacency view backing ``topology.graph.pred``."""
+
+    __slots__ = ("pred",)
+
+    def __init__(self, pred: dict):
+        self.pred = pred
+
+
+class _WorkerTopology:
+    """Just enough topology for the per-lane fast path."""
+
+    __slots__ = ("ports", "graph", "name")
+
+    def __init__(self, ports: dict, pred: dict):
+        self.ports = ports
+        self.graph = _WorkerGraph(pred)
+        self.name = "worker"
+
+    def port_switch(self, port: int) -> str:
+        try:
+            return self.ports[port]
+        except KeyError:
+            raise DataPlaneError(f"unknown OBS port {port}") from None
+
+
+class _WorkerRouting:
+    """Path table shim satisfying ``Network._init_routing_indices``."""
+
+    __slots__ = ("paths",)
+
+    def __init__(self, paths: dict):
+        self.paths = paths
+
+
+def _network_spec_bytes(network: Network) -> bytes:
+    """Serialize everything a worker lane needs, as pure data."""
+    topology = network.topology
+    graph = topology.graph
+    spec = {
+        "ports": dict(topology.ports),
+        "pred": {node: tuple(graph.pred[node]) for node in graph.pred},
+        "paths": {flow: tuple(path) for flow, path in network.routing.paths.items()},
+        "tables": {sw: dict(tbl) for sw, tbl in network.rules.tables.items()},
+        "mapping": network.mapping,
+        "placement": dict(network.placement),
+        "demands": dict(network.demands),
+        "state_defaults": dict(network.state_defaults),
+        "programs": {
+            name: program.to_lowered()
+            for name, program in network.switches.items()
+        },
+    }
+    return pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+#: Per-process rehydration caches (worker globals).  Bounded: a worker
+#: serving a long-lived session sees a new network token per hot swap,
+#: and old entries must not accumulate.
+_WORKER_PROGRAMS: dict = {}
+_WORKER_NETWORKS: dict = {}
+_WORKER_CACHE_LIMIT = 4
+
+
+def _trim_cache(cache: dict) -> None:
+    while len(cache) > _WORKER_CACHE_LIMIT:
+        cache.pop(next(iter(cache)))
+
+
+def _worker_network(program_key, network_key, spec_bytes: bytes) -> Network:
+    network = _WORKER_NETWORKS.get(network_key)
+    if network is not None:
+        return network
+    spec = pickle.loads(spec_bytes)
+    programs = _WORKER_PROGRAMS.get(program_key)
+    if programs is None:
+        programs = {
+            name: from_lowered(lowered)
+            for name, lowered in spec["programs"].items()
+        }
+        _WORKER_PROGRAMS[program_key] = programs
+        _trim_cache(_WORKER_PROGRAMS)
+    network = object.__new__(Network)
+    network.topology = _WorkerTopology(spec["ports"], spec["pred"])
+    network.placement = spec["placement"]
+    network.routing = _WorkerRouting(spec["paths"])
+    network.mapping = spec["mapping"]
+    network.demands = spec["demands"]
+    network.index = None  # lanes never consult the xFDD
+    network.rules = RuleTables(spec["tables"])
+    network.state_defaults = spec["state_defaults"]
+    network.switches = programs
+    network.link_packets = {}
+    network.deliveries = []
+    network.default_engine = "sequential"
+    network._exec_program_key = program_key
+    network._exec_network_key = network_key
+    network._init_routing_indices()
+    _WORKER_NETWORKS[network_key] = network
+    _trim_cache(_WORKER_NETWORKS)
+    return network
+
+
+def _process_lane(payload: tuple):
+    """One shard's batch, executed in a worker process.
+
+    Returns ``(records_by_index, link_counts, shard_state)`` — the same
+    lane output the thread engine produces, plus the shard's post-run
+    state for the parent to merge.
+    """
+    (program_key, network_key, spec_bytes,
+     ports, variables, state, batch) = payload
+    network = _worker_network(program_key, network_key, spec_bytes)
+    network.install_shard_state(state)
+    lane = _Lane(network, Shard(tuple(ports), frozenset(variables)), batch)
+    records, links = lane.run()
+    return records, links, network.extract_shard_state(variables)

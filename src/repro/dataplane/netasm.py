@@ -26,6 +26,8 @@ atomic table updates.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.dataplane.header import SNAP_NODE
 from repro.dataplane.split import NodeIndex, _ordered_seqs, leaf_groups, state_owner
 from repro.lang import ast
@@ -372,6 +374,16 @@ class SwitchProgram:
                     break
         return outcomes
 
+    def to_lowered(self) -> "LoweredProgram":
+        """The pure-data serialization of this program (see
+        :class:`LoweredProgram`)."""
+        return LoweredProgram(
+            switch=self.switch,
+            ops=tuple(_serialize_instr(i) for i in self.instructions),
+            entries=dict(self.entries),
+            state_defaults=dict(self.store._defaults),
+        )
+
     def to_text(self) -> str:
         """Readable assembly listing (for docs and debugging)."""
         entry_of = {}
@@ -389,6 +401,146 @@ class SwitchProgram:
             f"SwitchProgram({self.switch}, {len(self.instructions)} instrs, "
             f"{len(self.entries)} entries)"
         )
+
+
+# -- the lowered, shippable program form ---------------------------------------
+#
+# The compiled fast path above holds precompiled closures, which do not
+# pickle.  Following Open Packet Processor's observation that a lowered,
+# platform-independent stateful program form is what makes shipping
+# programs to independent execution units tractable, `LoweredProgram` is a
+# *pure-data* twin of `SwitchProgram`: flat opcode tuples whose operands
+# are constants (test/expression descriptors, literal values, jump
+# targets) plus the local store's default table.  `from_lowered` rebuilds
+# a behaviorally identical `SwitchProgram` — reconstructing the readable
+# instruction objects and *re-closing* the test/expression closures — so a
+# worker process can rehydrate a shipped program once and run the same
+# tight dispatch loop the parent does.
+#
+# Descriptor grammar (every leaf is a picklable constant):
+#
+#     expr  ::= ("f", field_name) | ("v", literal)
+#     test  ::= ("fv", field, value) | ("ff", f1, f2)
+#             | ("sv", var, (expr, ...), (expr, ...))
+#     op    ::= (OP_BRANCH, test, on_true, on_false) | (OP_PAUSE, tag, var)
+#             | (OP_FORK, (target, ...)) | (OP_JUMP, target)
+#             | (OP_SET, field, literal)
+#             | (OP_STWRITE, var, (expr, ...), (expr, ...))
+#             | (OP_STDELTA, var, (expr, ...), delta)
+#             | (OP_DROP,) | (OP_EMIT,)
+
+
+@dataclass(frozen=True)
+class LoweredProgram:
+    """Picklable pure-data form of one switch's NetASM program."""
+
+    switch: str
+    ops: tuple
+    entries: dict = field(compare=True)
+    state_defaults: dict = field(compare=True)
+
+
+def _serialize_expr(expr) -> tuple:
+    if isinstance(expr, ast.Field):
+        return ("f", expr.name)
+    return ("v", expr.value)
+
+
+def _serialize_exprs(exprs) -> tuple:
+    return tuple(_serialize_expr(e) for e in exprs)
+
+
+def _serialize_test(test) -> tuple:
+    if isinstance(test, FieldValueTest):
+        return ("fv", test.field, test.value)
+    if isinstance(test, FieldFieldTest):
+        return ("ff", test.field1, test.field2)
+    if isinstance(test, StateVarTest):
+        return ("sv", test.var, _serialize_exprs(test.index),
+                _serialize_exprs(test.value))
+    raise DataPlaneError(f"cannot serialize test {test!r}")
+
+
+def _serialize_instr(instr: Instr) -> tuple:
+    if isinstance(instr, IBranch):
+        return (OP_BRANCH, _serialize_test(instr.test),
+                instr.on_true, instr.on_false)
+    if isinstance(instr, IPause):
+        return (OP_PAUSE, instr.tag, instr.var)
+    if isinstance(instr, IFork):
+        return (OP_FORK, instr.targets)
+    if isinstance(instr, IJump):
+        return (OP_JUMP, instr.target)
+    if isinstance(instr, ISet):
+        return (OP_SET, instr.field, instr.value)
+    if isinstance(instr, IStateWrite):
+        return (OP_STWRITE, instr.var, _serialize_exprs(instr.index),
+                _serialize_exprs(instr.value))
+    if isinstance(instr, IStateDelta):
+        return (OP_STDELTA, instr.var, _serialize_exprs(instr.index),
+                instr.delta)
+    if isinstance(instr, IDrop):
+        return (OP_DROP,)
+    if isinstance(instr, IEmit):
+        return (OP_EMIT,)
+    raise DataPlaneError(f"cannot serialize instruction {instr!r}")
+
+
+def _revive_expr(data: tuple):
+    kind, payload = data
+    return ast.Field(payload) if kind == "f" else ast.Value(payload)
+
+
+def _revive_exprs(data: tuple) -> tuple:
+    return tuple(_revive_expr(d) for d in data)
+
+
+def _revive_test(data: tuple):
+    kind = data[0]
+    if kind == "fv":
+        return FieldValueTest(data[1], data[2])
+    if kind == "ff":
+        return FieldFieldTest(data[1], data[2])
+    return StateVarTest(data[1], _revive_exprs(data[2]), _revive_exprs(data[3]))
+
+
+def _revive_instr(op: tuple) -> Instr:
+    code = op[0]
+    if code == OP_BRANCH:
+        return IBranch(_revive_test(op[1]), op[2], op[3])
+    if code == OP_PAUSE:
+        return IPause(op[1], op[2])
+    if code == OP_FORK:
+        return IFork(op[1])
+    if code == OP_JUMP:
+        return IJump(op[1])
+    if code == OP_SET:
+        return ISet(op[1], op[2])
+    if code == OP_STWRITE:
+        return IStateWrite(op[1], _revive_exprs(op[2]), _revive_exprs(op[3]))
+    if code == OP_STDELTA:
+        return IStateDelta(op[1], _revive_exprs(op[2]), op[3])
+    if code == OP_DROP:
+        return IDrop()
+    if code == OP_EMIT:
+        return IEmit()
+    raise DataPlaneError(f"unknown lowered opcode {op!r}")
+
+
+def from_lowered(lowered: LoweredProgram) -> SwitchProgram:
+    """Rehydrate a :class:`SwitchProgram` from its pure-data form.
+
+    Rebuilds the instruction objects and a fresh local store (defaults
+    only — shard state is installed separately), then lets
+    ``SwitchProgram.__init__`` re-close the fast-path closures.  The
+    result is behaviorally identical to the program ``to_lowered`` was
+    called on, and ``to_lowered`` of the result round-trips equal.
+    """
+    instructions = [_revive_instr(op) for op in lowered.ops]
+    store = Store(lowered.state_defaults)
+    return SwitchProgram(
+        lowered.switch, instructions, dict(lowered.entries), store
+    )
 
 
 def compile_switch(

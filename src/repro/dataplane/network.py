@@ -22,6 +22,7 @@ Two delivery modes:
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 
 from repro.dataplane.header import (
@@ -43,6 +44,13 @@ from repro.milp.results import RoutingPaths
 from repro.topology.graph import Topology
 
 MAX_HOPS = 1000
+
+#: Monotonic tokens identifying (a) a compiled switch-program set and (b)
+#: one Network instance built around it.  The process-pool engine keys its
+#: worker-side rehydration caches on these: a TE ``rewire`` shares the
+#: compiled programs (same program key, new network key), while a policy
+#: rebuild mints a fresh program key.
+_EXEC_KEYS = itertools.count(1)
 
 
 class DeliveryRecord:
@@ -99,6 +107,9 @@ class Network:
         #: explicitly (a name or an engine instance; the controller sets
         #: it from ``CompilerOptions.engine``).
         self.default_engine: object = "sequential"
+        # Worker-cache keys for the process engine (see _EXEC_KEYS).
+        self._exec_program_key = next(_EXEC_KEYS)
+        self._exec_network_key = next(_EXEC_KEYS)
         self._init_routing_indices()
 
     def _init_routing_indices(self) -> None:
@@ -161,6 +172,10 @@ class Network:
         dup.link_packets = {}
         dup.deliveries = []
         dup.default_engine = self.default_engine
+        # Same compiled programs -> same program key (process-pool workers
+        # keep their rehydrated programs); new routing -> new network key.
+        dup._exec_program_key = self._exec_program_key
+        dup._exec_network_key = next(_EXEC_KEYS)
         dup._init_routing_indices()
         return dup
 
@@ -197,6 +212,57 @@ class Network:
             target = self.switches[owner].store.variable(name)
             for key, value in source.items():
                 target.set(key, value)
+
+    # -- per-shard state transfer (process-engine contract) ----------------
+
+    def extract_shard_state(self, variables) -> dict:
+        """Snapshot the named state variables from their owner switches.
+
+        Returns ``{var: (default, {key: value})}`` — pure data, picklable,
+        suitable for shipping a shard's private state to a worker process.
+        Variables without a placed owner are skipped (they cannot hold
+        data-plane state).
+        """
+        state: dict = {}
+        for var in sorted(variables):
+            owner = self.placement.get(var)
+            if owner is None:
+                continue
+            variable = self.switches[owner].store.variable(var)
+            state[var] = (variable.default, variable.snapshot())
+        return state
+
+    def install_shard_state(self, state: dict) -> None:
+        """Replace the named variables' contents with ``state``.
+
+        The worker-side half of the transfer: a cached worker network may
+        hold a previous batch's values, so installation *replaces* each
+        variable's table rather than merging into it.
+        """
+        for var, (default, table) in state.items():
+            owner = self.placement.get(var)
+            if owner is None:
+                continue
+            variable = self.switches[owner].store.variable(var)
+            variable.default = default
+            variable._table = dict(table)
+
+    def merge_shard_state(self, state: dict) -> None:
+        """Apply a worker's post-run shard state back into this network.
+
+        The parent-side half: every entry the worker's run produced is
+        written into the variable's owner switch.  Shards are provably
+        disjoint, and state tables never delete keys, so entry-wise update
+        reproduces exactly the state a sequential run would have left.
+        """
+        for var, (default, table) in state.items():
+            owner = self.placement.get(var)
+            if owner is None:
+                continue
+            variable = self.switches[owner].store.variable(var)
+            variable.default = default
+            for key, value in table.items():
+                variable.set(key, value)
 
     # -- egress selection (Appendix D) ----------------------------------------
 

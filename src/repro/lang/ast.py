@@ -33,10 +33,29 @@ from repro.util.ipaddr import IPPrefix
 # ---------------------------------------------------------------------------
 
 
+def _slot_reduce(node):
+    """Pickle support for the immutable AST nodes.
+
+    Every node's ``__init__`` takes exactly its ``__slots__`` in order (and
+    re-coercing an already-built sub-node is the identity), so rebuilding
+    through the constructor round-trips — the default slot-state protocol
+    would instead trip over the ``__setattr__`` immutability guards.
+    """
+    cls = type(node)
+    args = tuple(
+        getattr(node, name)
+        for klass in cls.__mro__
+        for name in getattr(klass, "__slots__", ())
+    )
+    return (cls, args)
+
+
 class Expr:
     """Base class for index/value expressions (value, field, or vector)."""
 
     __slots__ = ()
+
+    __reduce__ = _slot_reduce
 
     def fields_used(self) -> frozenset:
         raise NotImplementedError
@@ -150,6 +169,8 @@ class Policy:
     """Base class for all SNAP policies."""
 
     __slots__ = ()
+
+    __reduce__ = _slot_reduce
 
     def __add__(self, other):
         return Parallel(self, other)

@@ -42,6 +42,11 @@ class Symbol:
     def __eq__(self, other):
         return self is other or (isinstance(other, Symbol) and other.name == self.name)
 
+    def __reduce__(self):
+        # Rebuild through __new__'s interning: unpickling in a worker
+        # process yields (or creates) that process's canonical instance.
+        return (Symbol, (self.name,))
+
     def __hash__(self):
         return hash(("Symbol", self.name))
 

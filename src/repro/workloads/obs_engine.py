@@ -1,0 +1,263 @@
+"""Batched execution of the OBS verification mirror.
+
+:func:`repro.workloads.replay.replay_obs` drives every trace packet
+through ``eval`` on the one-big-switch — the reference the distributed
+data plane is checked against.  On long traces that sequential mirror is
+the slowest part of an equivalence test, yet it parallelizes exactly like
+the data plane does: the same per-ingress state footprints that prove
+data-plane shards disjoint (:func:`repro.dataplane.engine
+.ingress_state_footprint`) prove that OBS evaluation of one ingress
+group's packets can never influence another group's outputs or writes.
+
+:class:`BatchedObsEngine` turns that into a mirror engine:
+
+1. build the policy's xFDD and group the trace's ingress ports with the
+   shard planner's union-find (a build failure or a single group falls
+   back to the sequential mirror — always correct, never required);
+2. split the trace into per-group batches (per-group order preserved)
+   and evaluate each batch against a private copy of the store — in
+   process-pool workers when ``processes=True`` (policies and stores are
+   picklable), inline otherwise;
+3. merge deterministically: outputs reassembled in global arrival order,
+   each group's footprint variables written back into one final store.
+
+The result is byte-identical to the sequential mirror's ``(store,
+outputs)`` — the equivalence tests assert exactly that.
+
+Select with ``replay_obs(..., engine="batched"|"process")`` or pass an
+engine instance.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.dataplane.engine import (
+    _LIVE_POOLS,
+    group_ports_by_footprint,
+    ingress_state_footprint,
+)
+from repro.lang import ast
+from repro.lang.errors import SnapError
+from repro.lang.fields import FieldRegistry
+from repro.lang.semantics import eval_policy
+from repro.lang.state import Store
+from repro.xfdd.build import build_xfdd
+
+#: The engine names replay_obs accepts.
+OBS_ENGINE_NAMES = ("sequential", "batched", "process")
+
+
+def _eval_batch(policy: ast.Policy, store: Store, batch) -> tuple:
+    """Thread ``store`` through one batch of ``(index, packet, port)``.
+
+    Returns ``(final_store, {index: output_set})`` — the exact loop the
+    sequential mirror runs, reused for every engine so behaviour can
+    never drift between them.
+    """
+    outputs: dict = {}
+    for index, packet, port in batch:
+        tagged = packet.modify("inport", port)
+        store, out, _ = eval_policy(policy, store, tagged)
+        outputs[index] = out
+    return store, outputs
+
+
+def _policy_fields(policy: ast.Policy) -> set:
+    """Every packet field the policy mentions (for the xFDD registry)."""
+    fields: set = set()
+    stack = [policy]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Test, ast.Mod)):
+            fields.add(node.field)
+        elif isinstance(node, (ast.StateTest, ast.StateMod)):
+            fields |= node.index.fields_used() | node.value.fields_used()
+        elif isinstance(node, (ast.StateIncr, ast.StateDecr)):
+            fields |= node.index.fields_used()
+        elif isinstance(node, ast.Not):
+            stack.append(node.pred)
+        elif isinstance(node, (ast.And, ast.Or, ast.Parallel, ast.Seq)):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, ast.If):
+            stack.extend((node.pred, node.then, node.orelse))
+        elif isinstance(node, ast.Atomic):
+            stack.append(node.body)
+    return fields
+
+
+def _extract_group_state(store: Store, variables) -> dict:
+    """``{var: (default, table)}`` for the group's footprint variables."""
+    state: dict = {}
+    for var in sorted(variables):
+        variable = store.variable(var)
+        state[var] = (variable.default, variable.snapshot())
+    return state
+
+
+def _restrict_store(store: Store, variables) -> Store:
+    """A store holding only the group's footprint variables.
+
+    Sound because a group's packets can only *influence* (and only
+    write) variables in its own footprint — reads of anything else are
+    provably outcome-free, so they may see the default instead of
+    another group's value.  Shipping the restricted store cuts the
+    per-group pickle payload to the provably needed slice.
+    """
+    restricted = Store(store._defaults)
+    for var in variables:
+        source = store.variable(var)
+        target = restricted.variable(var)
+        target.default = source.default
+        target._table = source.snapshot()
+    return restricted
+
+
+def _obs_worker(payload: tuple):
+    """One group's batch, evaluated in a worker process (or inline)."""
+    policy, store, variables, batch = payload
+    final, outputs = _eval_batch(policy, store, batch)
+    return _extract_group_state(final, variables), outputs
+
+
+class SequentialObsEngine:
+    """The reference mirror: one store threaded through the whole trace."""
+
+    name = "sequential"
+
+    def run(self, arrivals, policy: ast.Policy, store: Store) -> tuple:
+        indexed = [(i, packet, port) for i, (packet, port) in enumerate(arrivals)]
+        final, outputs = _eval_batch(policy, store, indexed)
+        return final, [outputs[i] for i in range(len(indexed))]
+
+    def __repr__(self):
+        return "SequentialObsEngine()"
+
+
+class BatchedObsEngine:
+    """Per-ingress-group batched mirror with deterministic store merge.
+
+    ``processes=True`` evaluates groups on a persistent process pool
+    (created lazily, shut down by :meth:`close` or at interpreter exit);
+    ``processes=False`` evaluates them inline — same batching, same
+    merge, no IPC.  Group plans are cached per ``(policy, ports)`` so
+    repeated mirrors of the same policy (the common equivalence-test
+    shape) pay the xFDD build once.
+    """
+
+    name = "batched"
+
+    def __init__(self, max_workers: int | None = None, processes: bool = True):
+        self.max_workers = max_workers
+        self.processes = processes
+        self._pool = None
+        self._plan_cache: dict = {}
+
+    def run(self, arrivals, policy: ast.Policy, store: Store) -> tuple:
+        arrivals = list(arrivals)
+        ports = frozenset(port for _, port in arrivals)
+        groups = self._plan(policy, ports)
+        if groups is None or len(groups) <= 1:
+            return SequentialObsEngine().run(arrivals, policy, store)
+
+        group_of = {
+            port: index
+            for index, (members, _) in enumerate(groups)
+            for port in members
+        }
+        batches: dict = {}
+        for index, (packet, port) in enumerate(arrivals):
+            batches.setdefault(group_of[port], []).append((index, packet, port))
+
+        payloads = [
+            (policy, _restrict_store(store, groups[group][1]),
+             groups[group][1], batch)
+            for group, batch in sorted(batches.items())
+        ]
+        if self.processes and len(payloads) > 1:
+            pool = self._ensure_pool()
+            results = list(pool.map(_obs_worker, payloads))
+        else:
+            results = [_obs_worker(payload) for payload in payloads]
+
+        # Deterministic merge: outputs in global arrival order; each
+        # group's footprint variables written back into one final store.
+        final = store.copy()
+        outputs: dict = {}
+        for state, group_outputs in results:
+            outputs.update(group_outputs)
+            for var, (default, table) in state.items():
+                variable = final.variable(var)
+                variable.default = default
+                variable._table = dict(table)
+        return final, [outputs[i] for i in range(len(arrivals))]
+
+    #: Plan-cache entries kept per engine (shared engines outlive any
+    #: one policy; unbounded growth would pin every policy ever seen).
+    _PLAN_CACHE_LIMIT = 8
+
+    def _plan(self, policy: ast.Policy, ports: frozenset):
+        """Disjoint port groups for ``policy`` (None = cannot batch)."""
+        key = (policy, ports)
+        if key in self._plan_cache:
+            return self._plan_cache[key]
+        try:
+            registry = FieldRegistry(extra_fields=sorted(_policy_fields(policy)))
+            xfdd = build_xfdd(policy, registry=registry)
+            footprint = ingress_state_footprint(xfdd, sorted(ports))
+            groups = group_ports_by_footprint(footprint, sorted(ports))
+        except SnapError:
+            # Races or un-compilable policies: eval still defines them
+            # packet-by-packet, so mirror sequentially.
+            groups = None
+        self._plan_cache[key] = groups
+        while len(self._plan_cache) > self._PLAN_CACHE_LIMIT:
+            self._plan_cache.pop(next(iter(self._plan_cache)))
+        return groups
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            workers = self.max_workers or os.cpu_count() or 1
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+            # Registered in the data-plane engine's live-pool list: one
+            # atexit drain covers every pool this library opens.
+            _LIVE_POOLS.append(self._pool)
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            if pool in _LIVE_POOLS:
+                _LIVE_POOLS.remove(pool)
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __repr__(self):
+        mode = "process" if self.processes else "inline"
+        return f"BatchedObsEngine({mode}, max_workers={self.max_workers})"
+
+
+#: One engine per *name*: ad-hoc ``replay_obs(..., engine="process")``
+#: calls share a pool (and its plan cache) instead of leaking a fresh
+#: pool per call.  Callers wanting a private pool pass an instance.
+_shared_engines: dict = {}
+
+
+def get_obs_engine(engine):
+    """Resolve an OBS mirror engine name (instances pass through)."""
+    if engine is None or engine == "sequential":
+        return SequentialObsEngine()
+    if engine in ("batched", "process"):
+        shared = _shared_engines.get(engine)
+        if shared is None:
+            shared = BatchedObsEngine(processes=(engine == "process"))
+            _shared_engines[engine] = shared
+        return shared
+    if hasattr(engine, "run"):
+        return engine
+    raise SnapError(
+        f"unknown OBS mirror engine {engine!r}; expected one of "
+        f"{OBS_ENGINE_NAMES} or an engine instance"
+    )

@@ -17,29 +17,50 @@ from repro.workloads.traces import Trace
 
 
 class ReplayStats:
-    """Outcome summary of one trace replay."""
+    """Outcome summary of one trace replay.
+
+    Two delivery-rate views exist because multicast makes them diverge:
+    ``delivered``/``dropped`` count per-*copy* records (one injected
+    packet can fan out into several), while ``sent`` counts injected
+    packets.  :attr:`delivery_rate` is the packet-level reading — the
+    fraction of injected packets with at least one delivered copy — and
+    :attr:`copy_delivery_rate` is the per-copy ratio.  For unicast
+    traffic with no drops the two agree.
+    """
 
     def __init__(self):
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
+        #: Injected packets with >= 1 delivered copy (drives delivery_rate).
+        self.packets_delivered = 0
         self.per_egress: dict[int, int] = {}
         self.total_hops = 0
 
     def record(self, records) -> None:
         self.sent += 1
+        any_delivered = False
         for record in records:
             if record.egress is None:
                 self.dropped += 1
             else:
+                any_delivered = True
                 self.delivered += 1
                 self.per_egress[record.egress] = (
                     self.per_egress.get(record.egress, 0) + 1
                 )
                 self.total_hops += record.hops
+        if any_delivered:
+            self.packets_delivered += 1
 
     @property
     def delivery_rate(self) -> float:
+        """Fraction of *injected packets* with a delivered copy."""
+        return self.packets_delivered / self.sent if self.sent else 0.0
+
+    @property
+    def copy_delivery_rate(self) -> float:
+        """Fraction of *packet copies* that reached an egress."""
         total = self.delivered + self.dropped
         return self.delivered / total if total else 0.0
 
@@ -49,8 +70,10 @@ class ReplayStats:
 
     def __repr__(self):
         return (
-            f"ReplayStats(sent={self.sent}, delivered={self.delivered}, "
-            f"dropped={self.dropped}, mean_hops={self.mean_hops:.2f})"
+            f"ReplayStats(sent={self.sent}, delivered={self.delivered} copies, "
+            f"dropped={self.dropped}, delivery_rate={self.delivery_rate:.2f}, "
+            f"copy_delivery_rate={self.copy_delivery_rate:.2f}, "
+            f"mean_hops={self.mean_hops:.2f})"
         )
 
 
@@ -58,9 +81,11 @@ def replay(trace: Trace, network: Network, engine=None) -> ReplayStats:
     """Drive the trace through the network; returns delivery statistics.
 
     ``engine`` picks the execution engine (``"sequential"`` |
-    ``"sharded"`` | an engine instance); when ``None`` the network's
-    ``default_engine`` applies (``CompilerOptions.engine`` for networks
-    obtained from :meth:`SnapController.network`).  Every engine is
+    ``"sharded"`` | ``"process"`` | an engine instance — the
+    ``"process"`` name resolves to one shared pool across calls); when
+    ``None`` the network's ``default_engine`` applies
+    (``CompilerOptions.engine`` for networks obtained from
+    :meth:`SnapController.network`).  Every engine is
     delivery-equivalent to per-packet :meth:`~Network.inject` calls.
     """
     if engine is None:
@@ -72,17 +97,20 @@ def replay(trace: Trace, network: Network, engine=None) -> ReplayStats:
     return stats
 
 
-def replay_obs(trace: Trace, policy: ast.Policy, store: Store | None = None):
+def replay_obs(
+    trace: Trace, policy: ast.Policy, store: Store | None = None, engine=None
+):
     """Run the trace through the OBS reference semantics.
 
     Returns ``(final_store, outputs)`` where outputs is a list of
-    per-packet frozensets.
+    per-packet frozensets.  ``engine`` selects the mirror engine
+    (``"sequential"`` | ``"batched"`` | ``"process"`` | an instance, see
+    :mod:`repro.workloads.obs_engine`); every engine returns exactly
+    the sequential mirror's ``(store, outputs)``.
     """
+    from repro.workloads.obs_engine import get_obs_engine
+
     if store is None:
         store = Store(ast.infer_state_defaults(policy))
-    outputs = []
-    for packet, port in trace:
-        tagged = packet.modify("inport", port)
-        store, out, _ = eval_policy(policy, store, tagged)
-        outputs.append(out)
-    return store, outputs
+    runner = get_obs_engine(engine)
+    return runner.run(list(trace), policy, store)

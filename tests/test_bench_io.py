@@ -1,0 +1,70 @@
+"""The benchmark trajectory file tolerates concurrent writers.
+
+``benchmarks/conftest.merge_bench_results`` writes through a temp file
+plus an atomic rename, so simultaneous bench invocations can lose a
+race (last merge of a key wins) but can never produce a torn or
+unparsable ``BENCH_xfdd.json`` — which is what used to happen with
+plain read-modify-``write_text``.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+WRITER = """
+import sys
+sys.path.insert(0, {bench_dir!r})
+from pathlib import Path
+from conftest import merge_bench_results
+path = Path({target!r})
+for i in range(15):
+    merge_bench_results({key!r}, {{"round": i, "payload": "x" * 2048}}, path=path)
+"""
+
+
+def test_merge_bench_results_concurrent_writers(tmp_path):
+    target = tmp_path / "BENCH_xfdd.json"
+    target.write_text(json.dumps({"seed": {"kept": True}}) + "\n")
+    writers = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                WRITER.format(
+                    bench_dir=str(REPO / "benchmarks"),
+                    target=str(target),
+                    key=f"writer{i}",
+                ),
+            ]
+        )
+        for i in range(3)
+    ]
+    # Read continuously while the writers race: every observation must
+    # be complete, valid JSON.
+    while any(w.poll() is None for w in writers):
+        data = json.loads(target.read_text())
+        assert isinstance(data, dict)
+    assert all(w.wait() == 0 for w in writers)
+    final = json.loads(target.read_text())
+    # Whatever survived the races is well-formed; each key's last write
+    # is the whole value, never a fragment.
+    for key, value in final.items():
+        if key.startswith("writer"):
+            assert value["payload"] == "x" * 2048
+    # No temp files left behind.
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_merge_bench_results_recovers_from_corrupt_file(tmp_path):
+    sys.path.insert(0, str(REPO / "benchmarks"))
+    try:
+        from conftest import merge_bench_results
+    finally:
+        sys.path.pop(0)
+    target = tmp_path / "BENCH_xfdd.json"
+    target.write_text('{"torn": ')  # a pre-atomic-rename casualty
+    merge_bench_results("fresh", {"ok": 1}, path=target)
+    assert json.loads(target.read_text()) == {"fresh": {"ok": 1}}

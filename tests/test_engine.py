@@ -23,14 +23,15 @@ from repro.core.controller import SnapController
 from repro.core.options import CompilerOptions
 from repro.core.program import Program
 from repro.dataplane.engine import (
+    ProcessPoolEngine,
     SequentialEngine,
     ShardedEngine,
     get_engine,
     ingress_state_footprint,
     plan_shards,
 )
-from repro.lang import ast
-from repro.lang.errors import SnapError
+from repro.lang import ast, make_packet
+from repro.lang.errors import DataPlaneError, SnapError
 from repro.lang.state import Store
 from repro.topology.campus import campus_topology
 from repro.util.ipaddr import IPPrefix
@@ -164,6 +165,133 @@ class TestShardPlanning:
         network = snapshot.build_network()
         engine = ShardedEngine()
         assert engine.plan_for(network) is engine.plan_for(network)
+
+    def test_plan_cache_invalidated_by_xfdd_swap(self):
+        """In-place mutation of the network's program never leaves a
+        stale plan behind — the cache is keyed on the xFDD root."""
+        snap_sharded, _ = sharded_monitor()
+        snap_global, _ = compiled(app=dns_tunnel_detect())
+        network = snap_sharded.build_network()
+        engine = ShardedEngine()
+        plan_before = engine.plan_for(network)
+        assert plan_before.parallelism == NUM_PORTS
+        donor = snap_global.build_network()
+        # Graft the global-state program onto the same network object —
+        # the shape of a hand-rolled hot swap that reuses the instance.
+        network.index = donor.index
+        network.switches = donor.switches
+        network.placement = donor.placement
+        network.mapping = donor.mapping
+        plan_after = engine.plan_for(network)
+        assert plan_after is not plan_before
+        assert plan_after.parallelism == 1  # global state: one lane
+
+    def test_rewired_network_never_replays_against_stale_plan(self):
+        _, program = sharded_monitor()
+        controller = SnapController(
+            campus_topology(), program, options=CompilerOptions(engine="sharded")
+        )
+        controller.submit()
+        engine = ShardedEngine()
+        plan_cold = engine.plan_for(controller.network())
+        controller.fail_link("C1", "C5")
+        rewired = controller.network()
+        plan_hot = engine.plan_for(rewired)
+        # Same xFDD, same ports: the partition is identical, but it was
+        # computed for (and cached on) the rewired object.
+        assert [s.ports for s in plan_hot.shards] == [
+            s.ports for s in plan_cold.shards
+        ]
+        assert engine.plan_for(rewired) is plan_hot
+        trace = workloads.background_traffic(SUBNETS, count=40, seed=2)
+        stats = replay(trace, rewired, engine=engine)
+        assert stats.sent == 40
+
+    def test_adopted_network_plan_tracks_new_program(self):
+        _, monitor_program = sharded_monitor()
+        controller = SnapController(
+            campus_topology(), monitor_program,
+            options=CompilerOptions(engine="sharded"),
+        )
+        controller.submit()
+        engine = ShardedEngine()
+        assert engine.plan_for(controller.network()).parallelism == NUM_PORTS
+        app = dns_tunnel_detect()
+        global_program = Program(
+            ast.Seq(app.policy, assign_egress(SUBNETS)),
+            assumption=port_assumption(SUBNETS),
+            state_defaults=app.state_defaults,
+            name=app.name,
+        )
+        controller.update_policy(global_program)  # rebuild + adopt_state
+        assert engine.plan_for(controller.network()).parallelism == 1
+
+
+def corrupt_shard(network, port):
+    """Poison ``count@port`` so its lane's increment raises mid-run."""
+    var = f"count@{port}"
+    owner = network.placement[var]
+    network.switches[owner].store.write(var, (port,), "corrupt")
+
+
+def one_packet_per_port():
+    return [
+        (make_packet(srcip=SUBNETS[p].host(1), dstip=SUBNETS[6].host(1)), p)
+        for p in PORTS
+    ]
+
+
+class TestLaneFailureContract:
+    """A failing lane merges what completed, then raises a wrapped
+    DataPlaneError naming the shard — the network is never silently
+    half-updated."""
+
+    def test_inline_failure_merges_completed_lanes_only(self):
+        snapshot, _ = sharded_monitor()
+        network = snapshot.build_network()
+        corrupt_shard(network, 3)
+        with pytest.raises(DataPlaneError, match=r"shard 2 \(ports \[3\]\)"):
+            ShardedEngine(max_workers=1).run(network, one_packet_per_port())
+        store = network.global_store()
+        # Lanes run in shard order inline: ports 1 and 2 completed and
+        # were merged; the failing lane stopped everything after it.
+        assert store.read("count@1", (1,)) == 1
+        assert store.read("count@2", (2,)) == 1
+        assert store.read("count@3", (3,)) == "corrupt"
+        assert store.read("count@4", (4,)) == 0
+        assert len(network.deliveries) == 2
+        assert sum(network.link_packets.values()) > 0
+
+    def test_thread_pool_failure_merges_completed_lanes(self):
+        snapshot, _ = sharded_monitor()
+        network = snapshot.build_network()
+        corrupt_shard(network, 3)
+        with pytest.raises(DataPlaneError, match=r"shard 2 \(ports \[3\]\)"):
+            ShardedEngine(max_workers=4).run(network, one_packet_per_port())
+        store = network.global_store()
+        # Submitted lanes all ran to completion except the failing one.
+        for port in (1, 2, 4, 5, 6):
+            assert store.read(f"count@{port}", (port,)) == 1
+        assert store.read("count@3", (3,)) == "corrupt"
+        assert len(network.deliveries) == 5
+
+    def test_process_pool_failure_merges_completed_lanes(self):
+        snapshot, _ = sharded_monitor()
+        network = snapshot.build_network()
+        corrupt_shard(network, 3)
+        engine = ProcessPoolEngine(max_workers=2)
+        try:
+            with pytest.raises(DataPlaneError, match=r"shard 2 \(ports \[3\]\)"):
+                engine.run(network, one_packet_per_port())
+            store = network.global_store()
+            # Completed workers' state deltas were merged back; the
+            # failing shard's state is untouched (still corrupt).
+            for port in (1, 2, 4, 5, 6):
+                assert store.read(f"count@{port}", (port,)) == 1
+            assert store.read("count@3", (3,)) == "corrupt"
+            assert len(network.deliveries) == 5
+        finally:
+            engine.close()
 
 
 class TestEngineEquivalence:

@@ -1,0 +1,173 @@
+"""Tests for the batched OBS verification mirror.
+
+The contract: every mirror engine returns *exactly* the sequential
+mirror's ``(store, outputs)`` — byte-identical outputs in arrival order
+and an ``==``-equal final store — whether groups ran inline or on a
+process pool, and regardless of how the trace's ports interleave.
+"""
+
+import pytest
+
+from repro.analysis.sharding import shard_by_inport, shard_defaults
+from repro.apps import (
+    assign_egress,
+    default_subnets,
+    dns_tunnel_detect,
+    port_assumption,
+)
+from repro.core.program import Program
+from repro.lang import ast
+from repro.lang.errors import SnapError
+from repro.lang.state import Store
+from repro import workloads
+from repro.workloads import (
+    BatchedObsEngine,
+    SequentialObsEngine,
+    get_obs_engine,
+    replay_obs,
+)
+from repro.workloads.obs_engine import _policy_fields
+
+NUM_PORTS = 6
+SUBNETS = default_subnets(NUM_PORTS)
+PORTS = list(range(1, NUM_PORTS + 1))
+
+
+def monitor_program():
+    body = ast.Seq(
+        ast.StateIncr("count", ast.Field("inport")), assign_egress(SUBNETS)
+    )
+    return Program(
+        shard_by_inport(body, "count", PORTS),
+        assumption=port_assumption(SUBNETS),
+        state_defaults=shard_defaults({"count": 0}, "count", PORTS),
+        name="monitor-sharded",
+    )
+
+
+def tunnel_program():
+    app = dns_tunnel_detect(threshold=3)
+    return Program(
+        ast.Seq(app.policy, assign_egress(SUBNETS)),
+        assumption=port_assumption(SUBNETS),
+        state_defaults=app.state_defaults,
+        name=app.name,
+    )
+
+
+def mirror(program, trace, engine):
+    return replay_obs(
+        trace, program.full_policy(), Store(program.state_defaults),
+        engine=engine,
+    )
+
+
+@pytest.mark.parametrize("engine", ["batched", "process"])
+def test_sharded_monitor_mirror_identical(engine):
+    program = monitor_program()
+    trace = workloads.background_traffic(SUBNETS, count=300, seed=7)
+    ref_store, ref_out = mirror(program, trace, None)
+    got_store, got_out = mirror(program, trace, engine)
+    assert got_out == ref_out
+    assert got_store == ref_store
+
+
+@pytest.mark.parametrize("engine", ["batched", "process"])
+def test_global_state_falls_back_to_sequential(engine):
+    """One group (every port shares the tunnel state): the batched
+    engines must still return the sequential answer."""
+    program = tunnel_program()
+    attack = workloads.dns_tunnel_attack(
+        SUBNETS[6].host(66), 6, SUBNETS[1].host(53), 1, num_responses=4
+    )
+    trace = attack.interleaved_with(
+        workloads.background_traffic(SUBNETS, count=80, seed=3), seed=5
+    )
+    ref_store, ref_out = mirror(program, trace, None)
+    got_store, got_out = mirror(program, trace, engine)
+    assert got_out == ref_out
+    assert got_store == ref_store
+
+
+def test_initial_store_entries_survive_the_merge():
+    """Variables no packet touches keep their initial contents."""
+    program = monitor_program()
+    store = Store(program.state_defaults)
+    store.write("count@1", (1,), 41)  # pre-existing counter value
+    store.write("unrelated", ("x",), "keep-me")
+    trace = workloads.background_traffic(SUBNETS, count=120, seed=9)
+    ref_store, ref_out = replay_obs(
+        trace, program.full_policy(), store.copy()
+    )
+    got_store, got_out = replay_obs(
+        trace, program.full_policy(), store.copy(), engine="process"
+    )
+    assert got_out == ref_out
+    assert got_store == ref_store
+    assert got_store.read("unrelated", ("x",)) == "keep-me"
+    assert got_store.read("count@1", (1,)) >= 41
+
+
+def test_two_process_runs_identical():
+    program = monitor_program()
+    trace = workloads.background_traffic(SUBNETS, count=200, seed=11)
+    engine = BatchedObsEngine(max_workers=2)
+    try:
+        a = mirror(program, trace, engine)
+        b = mirror(program, trace, engine)
+        assert a[1] == b[1]
+        assert a[0] == b[0]
+    finally:
+        engine.close()
+
+
+def test_plan_cached_per_policy():
+    program = monitor_program()
+    engine = BatchedObsEngine(processes=False)
+    trace = list(workloads.background_traffic(SUBNETS, count=30, seed=1))
+    mirror(program, trace, engine)
+    ports = frozenset(port for _, port in trace)
+    key = (program.full_policy(), ports)
+    assert key in engine._plan_cache
+    plan = engine._plan_cache[key]
+    mirror(program, trace, engine)
+    assert engine._plan_cache[key] is plan
+
+
+def test_engine_resolution():
+    assert isinstance(get_obs_engine(None), SequentialObsEngine)
+    assert isinstance(get_obs_engine("sequential"), SequentialObsEngine)
+    batched = get_obs_engine("batched")
+    assert isinstance(batched, BatchedObsEngine) and not batched.processes
+    process = get_obs_engine("process")
+    assert isinstance(process, BatchedObsEngine) and process.processes
+    # Named engines are shared: repeated replay_obs(engine="process")
+    # calls reuse one pool instead of leaking one per call.
+    assert get_obs_engine("batched") is batched
+    assert get_obs_engine("process") is process
+    custom = BatchedObsEngine(processes=False)
+    assert get_obs_engine(custom) is custom
+    with pytest.raises(SnapError):
+        get_obs_engine("warp-drive")
+
+
+def test_plan_cache_is_bounded():
+    engine = BatchedObsEngine(processes=False)
+    for i in range(engine._PLAN_CACHE_LIMIT + 5):
+        engine._plan(ast.Seq(ast.Mod("outport", 2), ast.Mod("ttl", i)),
+                     frozenset(PORTS))
+    assert len(engine._plan_cache) == engine._PLAN_CACHE_LIMIT
+
+
+def test_policy_fields_walker_sees_every_field():
+    policy = ast.Seq(
+        ast.If(
+            ast.And(ast.Test("inport", 1), ast.Not(ast.Test("proto", 6))),
+            ast.StateMod("s", ast.Field("srcip"), ast.Field("dstip")),
+            ast.StateIncr("t", ast.Vector([ast.Field("srcport"), 3])),
+        ),
+        ast.Parallel(ast.Mod("outport", 2), ast.Atomic(ast.Mod("ttl", 1))),
+    )
+    assert _policy_fields(policy) == {
+        "inport", "proto", "srcip", "dstip", "srcport", "outport", "ttl",
+    }

@@ -19,7 +19,7 @@ from repro.apps import (
 )
 from repro.core.controller import SnapController
 from repro.core.program import Program
-from repro.lang import ast
+from repro.lang import ast, make_packet
 from repro.lang.values import Symbol
 from repro.topology.campus import campus_topology
 from repro.util.ipaddr import IPPrefix
@@ -201,3 +201,48 @@ class TestReplayStats:
         assert 0.0 <= stats.delivery_rate <= 1.0
         assert stats.mean_hops > 0
         assert sum(stats.per_egress.values()) == stats.delivered
+
+    def test_multicast_with_drops_distinguishes_the_two_rates(self):
+        """Per-copy and per-packet delivery rates diverge under multicast
+        with partial drops; ``delivery_rate`` is the packet-level one."""
+        policy = ast.If(
+            ast.Test("dstport", 99),
+            ast.Parallel(
+                ast.Mod("outport", 2),
+                ast.If(ast.Test("srcport", 7), ast.Drop(), ast.Mod("outport", 3)),
+            ),
+            ast.If(ast.Test("dstport", 88), ast.Drop(), assign_egress(SUBNETS)),
+        )
+        program = Program(
+            policy, assumption=port_assumption(SUBNETS),
+            state_defaults={}, name="multicast-with-drops",
+        )
+        network = SnapController(campus_topology(), program).submit().build_network()
+
+        def pkt(srcport, dstport):
+            return (
+                make_packet(
+                    srcip=SUBNETS[1].host(2), dstip=SUBNETS[6].host(2),
+                    srcport=srcport, dstport=dstport,
+                ),
+                1,
+            )
+
+        trace = workloads.Trace("multicast", [
+            pkt(40000, 99), pkt(40000, 99),          # full multicast: 2 copies
+            pkt(7, 99), pkt(7, 99), pkt(7, 99),      # partial: 1 copy survives
+            pkt(40000, 88),                          # dropped outright
+        ])
+        stats = replay(trace, network)
+        assert stats.sent == 6
+        assert stats.delivered == 7       # 2*2 + 3*1 copies
+        assert stats.dropped == 1
+        assert stats.packets_delivered == 5
+        assert stats.delivery_rate == pytest.approx(5 / 6)
+        assert stats.copy_delivery_rate == pytest.approx(7 / 8)
+        assert stats.delivery_rate != stats.copy_delivery_rate
+        # __repr__ reports both rates, honestly labelled.
+        text = repr(stats)
+        assert "delivery_rate=0.83" in text
+        assert "copy_delivery_rate=0.88" in text
+        assert "7 copies" in text
