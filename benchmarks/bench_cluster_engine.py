@@ -1,0 +1,186 @@
+"""Cluster data-plane engine vs sequential, on two localhost daemons.
+
+The campus sharded workload (§7.3 / Appendix C) replayed on
+``ClusterEngine``: disjoint-state shards shipped over the length-prefixed
+TCP wire protocol to two ``repro.cluster.worker`` daemons spawned on this
+machine, merged back in deterministic arrival order.  Localhost daemons
+are the honest floor for this engine — the wire cost is real, the
+parallelism is bounded by this machine — so the headline numbers are the
+*wire accounting*: program/network spec bytes ship once per worker (and
+zero program bytes after a TE rewire), per-run payloads carry only
+batches plus footprint-restricted state slices.
+
+Equivalence is asserted on the measured runs themselves (records, final
+stores, link counters).  Results merge into ``BENCH_xfdd.json`` under
+``cluster_engine`` with the worker count and bytes shipped.
+
+Smoke mode for CI: ``CLUSTER_ENGINE_SMOKE=1`` shrinks the trace.
+"""
+
+import gc
+import os
+import time
+
+from repro.analysis.sharding import shard_by_inport, shard_defaults
+from repro.apps import assign_egress, default_subnets, port_assumption
+from repro.cluster import ClusterEngine
+from repro.core.controller import SnapController
+from repro.core.options import CompilerOptions
+from repro.core.program import Program
+from repro.dataplane.engine import SequentialEngine, plan_for
+from repro.lang import ast
+from repro.topology.campus import campus_topology
+from repro.workloads import background_traffic, replay
+
+from conftest import merge_bench_results
+from workloads import print_table
+
+SMOKE = os.environ.get("CLUSTER_ENGINE_SMOKE") == "1"
+
+NUM_PORTS = 6
+SUBNETS = default_subnets(NUM_PORTS)
+PACKETS = 1200 if SMOKE else 6000
+ROUNDS = 2 if SMOKE else 4
+WORKERS = 2
+
+_SUMMARY = {
+    "packets": PACKETS,
+    "workers": WORKERS,
+    "cpus": os.cpu_count(),
+    "smoke": SMOKE,
+    "workloads": {},
+}
+_RESULTS = []
+
+
+def sharded_monitor_controller():
+    ports = list(range(1, NUM_PORTS + 1))
+    body = ast.Seq(
+        ast.StateIncr("count", ast.Field("inport")), assign_egress(SUBNETS)
+    )
+    program = Program(
+        shard_by_inport(body, "count", ports),
+        assumption=port_assumption(SUBNETS),
+        state_defaults=shard_defaults({"count": 0}, "count", ports),
+        name="monitor-sharded",
+    )
+    controller = SnapController(
+        campus_topology(), program, options=CompilerOptions(engine="cluster")
+    )
+    controller.submit()
+    return controller
+
+
+def _record_view(records):
+    return [(r.egress, r.hops, r.packet) for r in records]
+
+
+def _best_time(engine, snapshot, trace):
+    best = float("inf")
+    records = network = None
+    for _ in range(ROUNDS):
+        network = snapshot.build_network()
+        gc.collect()
+        gc.disable()
+        start = time.perf_counter()
+        records = engine.run(network, trace)
+        elapsed = time.perf_counter() - start
+        gc.enable()
+        best = min(best, elapsed)
+    return best, records, network
+
+
+def test_campus_sharded_cluster(benchmark):
+    """Headline: six disjoint lanes on two localhost worker daemons."""
+    controller = sharded_monitor_controller()
+    snapshot = controller.current
+    trace = list(background_traffic(SUBNETS, count=PACKETS, seed=7))
+    plan = plan_for(snapshot.build_network())
+    engine = ClusterEngine(workers=WORKERS)
+
+    def run():
+        try:
+            seq_time, seq_records, seq_net = _best_time(
+                SequentialEngine(), snapshot, trace
+            )
+            clu_time, clu_records, clu_net = _best_time(
+                engine, snapshot, trace
+            )
+            cold_stats = dict(engine.last_run_stats)
+            # Equivalence, asserted on the measured runs themselves.
+            assert len(seq_records) == len(clu_records) == PACKETS
+            for a, b in zip(seq_records, clu_records):
+                assert _record_view(a) == _record_view(b)
+            assert seq_net.global_store() == clu_net.global_store()
+            assert seq_net.link_packets == clu_net.link_packets
+            return seq_time, clu_time, cold_stats
+        except BaseException:
+            engine.close()
+            raise
+
+    seq_time, clu_time, shipped = benchmark.pedantic(
+        run, iterations=1, rounds=1
+    )
+
+    # TE rewire on the session's live data plane: the daemons stay warm
+    # and the re-shipped bytes must contain *zero* program bytes.
+    try:
+        controller.network().default_engine = engine
+        replay(trace, controller.network(), engine=engine)
+        controller.fail_link("C1", "C5")
+        rewired = controller.network()
+        replay(trace, rewired, engine=engine)
+        rewire_stats = dict(engine.last_run_stats)
+        assert rewire_stats["program_bytes"] == 0, rewire_stats
+    finally:
+        engine.close()
+        controller.close()
+
+    row = {
+        "packets": PACKETS,
+        "shards": plan.parallelism,
+        "workers": shipped.get("workers", WORKERS),
+        "sequential_pps": round(PACKETS / seq_time),
+        "cluster_pps": round(PACKETS / clu_time),
+        "cluster_vs_sequential": round(seq_time / clu_time, 2),
+        "bytes_shipped": {
+            "program": shipped.get("program_bytes", 0),
+            "network": shipped.get("network_bytes", 0),
+            "payload_per_run": shipped.get("payload_bytes", 0),
+            "rewire_program": rewire_stats.get("program_bytes", 0),
+            "rewire_network": rewire_stats.get("network_bytes", 0),
+        },
+    }
+    _SUMMARY["workloads"]["monitor-sharded"] = row
+    _RESULTS.append(
+        (
+            "monitor-sharded",
+            plan.parallelism,
+            f"{row['sequential_pps']:,}",
+            f"{row['cluster_pps']:,}",
+            f"{row['cluster_vs_sequential']:.2f}x",
+            f"{row['bytes_shipped']['payload_per_run']:,}",
+        )
+    )
+    assert row["cluster_pps"] > 0
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    assert _RESULTS
+    print_table(
+        f"Cluster engine ({WORKERS} localhost daemons, {os.cpu_count()} "
+        f"CPUs, {PACKETS} packets)",
+        ("workload", "shards", "sequential pkt/s", "cluster pkt/s",
+         "cluster/seq", "payload bytes/run"),
+        _RESULTS,
+    )
+    shipped = _SUMMARY["workloads"]["monitor-sharded"]["bytes_shipped"]
+    print(
+        f"\nWire accounting: program spec {shipped['program']:,} B (cold), "
+        f"network spec {shipped['network']:,} B, payloads "
+        f"{shipped['payload_per_run']:,} B/run; after TE rewire: "
+        f"{shipped['rewire_program']:,} B program (zero by design), "
+        f"{shipped['rewire_network']:,} B network"
+    )
+    merge_bench_results("cluster_engine", _SUMMARY)

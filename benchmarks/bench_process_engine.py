@@ -143,6 +143,7 @@ def _compare(name, snapshot, benchmark):
     seq_time, thread_time, proc_time = benchmark.pedantic(
         run, iterations=1, rounds=1
     )
+    shipped = process_engine.last_run_stats
     row = {
         "packets": PACKETS,
         "shards": plan.parallelism,
@@ -151,6 +152,10 @@ def _compare(name, snapshot, benchmark):
         "process_pps": round(PACKETS / proc_time),
         "process_vs_sequential": round(seq_time / proc_time, 2),
         "process_vs_thread": round(thread_time / proc_time, 2),
+        # Per-run wire accounting: state is footprint-restricted to the
+        # variables each batch's ingress ports can touch.
+        "state_bytes_shipped": shipped.get("state_bytes", 0),
+        "spec_bytes_shipped": shipped.get("spec_bytes", 0),
     }
     _SUMMARY["workloads"][name] = row
     _RESULTS.append(

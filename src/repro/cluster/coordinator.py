@@ -1,0 +1,473 @@
+"""The coordinator side of the cluster runtime.
+
+A :class:`ClusterCoordinator` owns a set of worker daemons — local
+subprocesses it spawns (``python -m repro.cluster.worker``) and/or
+remote daemons it attaches to by address — and gives the
+:class:`~repro.cluster.engine.ClusterEngine` three guarantees:
+
+* **Discovery and handshake.**  Every worker is version-checked over the
+  :data:`~repro.cluster.protocol.HELLO` exchange before any spec bytes
+  move; a daemon speaking a different protocol version is rejected at
+  ``start()``, not mid-run.
+* **Spec caching.**  The coordinator tracks, per worker, which program
+  and network spec keys it has shipped.  Dispatch ships only what a
+  worker is missing — after a TE ``rewire`` the program key is
+  unchanged, so *zero program bytes* move, only the small network half.
+  If a worker evicted a spec (bounded caches) the run reply says so and
+  the coordinator re-ships and retries, so cache pressure can never
+  produce a wrong answer.
+* **Least-loaded dispatch and requeue.**  Jobs are pulled by per-worker
+  dispatch threads from a shared queue — a worker takes its next job the
+  moment it finishes the last, so load balances to whatever each daemon
+  can actually sustain.  A worker that dies mid-job (connection loss —
+  the heartbeat's mid-run equivalent) is abandoned and its job is
+  requeued onto a surviving worker; only when *no* capacity remains does
+  the failure surface, as the engine's named
+  :class:`~repro.lang.errors.DataPlaneError`.
+
+Between runs, :meth:`ClusterCoordinator.heartbeat` pings every worker
+(and prunes the dead), so a daemon lost while idle is discovered before
+any job is entrusted to it.
+
+Spawned daemons are *children*: ``close()`` shuts them down gracefully
+(:data:`~repro.cluster.protocol.SHUTDOWN`, then terminate as backup) and
+reaps them, an ``atexit`` hook closes any coordinator left open, and the
+daemons themselves carry ``--orphan-exit`` as the last line of defense —
+no ``repro.cluster.worker`` process survives its coordinator.  Attached
+remote daemons are *not* ours to kill: ``close()`` only drops the
+connection.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import select
+import socket
+import subprocess
+import sys
+import threading
+from collections import deque
+from pathlib import Path
+
+from repro.cluster import protocol as wire
+from repro.cluster.protocol import ClusterError, ProtocolError, TransportError
+
+#: Seconds to wait for a spawned daemon's banner line.
+SPAWN_TIMEOUT = 60.0
+#: Socket timeout for handshakes and control messages.
+CONTROL_TIMEOUT = 15.0
+#: Socket timeout for heartbeat pings (a dead host must not stall runs).
+PING_TIMEOUT = 5.0
+#: Socket timeout for job dispatch.  A daemon that wedges without
+#: closing its connection (network partition, hung host) must surface as
+#: worker loss — and requeue — not block the run forever.  Generous: a
+#: shard batch is minutes of work at most, never ten.
+RUN_TIMEOUT = 600.0
+
+
+def spawn_worker_process(orphan_exit: bool = True):
+    """Spawn a local worker daemon; returns ``(process, host, port)``.
+
+    The daemon binds a free localhost port and announces it on stdout
+    (``SNAP-CLUSTER-WORKER <version> <host> <port>``); this helper waits
+    for that banner (bounded by :data:`SPAWN_TIMEOUT`) and checks the
+    version.  ``PYTHONPATH`` is extended so the child finds the same
+    ``repro`` package that is running the coordinator.
+    """
+    import repro
+
+    src_root = Path(repro.__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src_root) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    argv = [sys.executable, "-m", "repro.cluster.worker",
+            "--listen", "127.0.0.1:0"]
+    if orphan_exit:
+        argv.append("--orphan-exit")
+    process = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, env=env, text=True,
+    )
+    ready, _, _ = select.select([process.stdout], [], [], SPAWN_TIMEOUT)
+    if not ready:
+        process.terminate()
+        process.wait(timeout=CONTROL_TIMEOUT)
+        raise ClusterError(
+            f"worker daemon produced no banner within {SPAWN_TIMEOUT}s"
+        )
+    banner = process.stdout.readline().split()
+    if len(banner) != 4 or banner[0] != "SNAP-CLUSTER-WORKER":
+        process.terminate()
+        process.wait(timeout=CONTROL_TIMEOUT)
+        raise ClusterError(f"unexpected worker banner {banner!r}")
+    if int(banner[1]) != wire.PROTOCOL_VERSION:
+        process.terminate()
+        process.wait(timeout=CONTROL_TIMEOUT)
+        raise ProtocolError(
+            f"worker speaks protocol {banner[1]}, "
+            f"coordinator speaks {wire.PROTOCOL_VERSION}"
+        )
+    return process, banner[2], int(banner[3])
+
+
+class WorkerHandle:
+    """One worker daemon: its connection, spec-cache view, and lifecycle.
+
+    ``process`` is the daemon's ``Popen`` when this coordinator spawned
+    it (and therefore owns its lifetime) or ``None`` for an attached
+    remote daemon.  ``programs``/``networks`` are the spec keys this
+    side has successfully shipped — the coordinator's view of the
+    worker's caches, corrected on ``missing`` replies.
+    """
+
+    def __init__(self, host: str, port: int, process=None):
+        self.host = host
+        self.port = port
+        self.process = process
+        self.sock = None
+        self.pid = None
+        self.alive = False
+        self.programs: set = set()
+        self.networks: set = set()
+        self.jobs_done = 0
+        #: Payload bytes of the most recent successful send on this
+        #: handle (one dispatch thread per handle, so no races) — the
+        #: coordinator's byte accounting reads it instead of re-pickling
+        #: payloads just to measure them.
+        self.last_sent_bytes = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def connect(self) -> None:
+        """Open the connection and run the version handshake."""
+        try:
+            self.sock = socket.create_connection(
+                (self.host, self.port), timeout=CONTROL_TIMEOUT
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"cannot reach worker at {self.address}: {exc}"
+            ) from exc
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        reply_type, reply = self.request(
+            wire.HELLO, {"version": wire.PROTOCOL_VERSION},
+            timeout=CONTROL_TIMEOUT,
+        )
+        if reply_type != wire.WELCOME:
+            message = (reply or {}).get("message", f"got {reply_type!r}")
+            self.abandon()
+            raise ProtocolError(
+                f"worker at {self.address} rejected the handshake: {message}"
+            )
+        self.pid = reply.get("pid")
+        self.alive = True
+
+    def request(self, message_type: str, payload, timeout=None):
+        """One request/response round trip on this worker's connection."""
+        sock = self.sock
+        if sock is None:
+            raise TransportError(f"worker {self.address} is not connected")
+        sock.settimeout(timeout)
+        try:
+            self.last_sent_bytes = wire.send_message(sock, message_type, payload)
+            return wire.recv_message(sock)
+        finally:
+            try:
+                sock.settimeout(None)
+            except OSError:
+                pass
+
+    def ping(self) -> bool:
+        """Heartbeat: is the daemon alive and speaking our protocol?"""
+        try:
+            reply_type, _ = self.request(wire.PING, {}, timeout=PING_TIMEOUT)
+            return reply_type == wire.PONG
+        except (TransportError, ProtocolError):
+            return False
+
+    def abandon(self) -> None:
+        """Drop a dead worker: close the socket, reap an owned process."""
+        self.alive = False
+        sock, self.sock = self.sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self.process is not None and self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=CONTROL_TIMEOUT)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+
+    def close(self) -> None:
+        """Graceful shutdown: SHUTDOWN for owned daemons, then abandon."""
+        if self.alive and self.sock is not None and self.process is not None:
+            try:
+                self.request(wire.SHUTDOWN, {}, timeout=CONTROL_TIMEOUT)
+            except (TransportError, ProtocolError):
+                pass
+        self.abandon()
+
+    def __repr__(self):
+        kind = "spawned" if self.process is not None else "attached"
+        state = "alive" if self.alive else "dead"
+        return f"WorkerHandle({self.address}, {kind}, {state})"
+
+
+class Job:
+    """One unit of dispatch: a message and its merge key."""
+
+    __slots__ = ("key", "message_type", "payload", "attempts")
+
+    def __init__(self, key, message_type: str, payload):
+        self.key = key
+        self.message_type = message_type
+        self.payload = payload
+        self.attempts = 0
+
+
+class ClusterCoordinator:
+    """Owns worker daemons; ships specs; dispatches and requeues jobs."""
+
+    def __init__(self, local_workers: int = 2, addresses=()):
+        self.local_workers = local_workers
+        self.addresses = tuple(addresses)
+        self.run_timeout = RUN_TIMEOUT
+        self._handles: list = []
+        self._started = False
+        #: Guards ``stats``, the pending-job queue, and the result maps
+        #: against the concurrent per-worker dispatch threads.
+        self._lock = threading.Lock()
+        #: Cumulative wire accounting, exposed through
+        #: ``ClusterEngine.last_run_stats`` as per-run deltas.
+        self.stats = {
+            "program_bytes": 0, "network_bytes": 0, "payload_bytes": 0,
+            "jobs": 0, "requeues": 0,
+        }
+
+    def add_stat(self, key: str, value: int) -> None:
+        """Thread-safe stats increment (dispatch threads call this)."""
+        with self._lock:
+            self.stats[key] = self.stats.get(key, 0) + value
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ClusterCoordinator":
+        """Spawn/connect/handshake all workers (idempotent)."""
+        if self._started:
+            return self
+        handles = []
+        spawned = []
+        try:
+            for address in self.addresses:
+                host, _, port = address.rpartition(":")
+                handles.append(WorkerHandle(host or "127.0.0.1", int(port)))
+            for _ in range(self.local_workers):
+                process, host, port = spawn_worker_process()
+                spawned.append(process)
+                handles.append(WorkerHandle(host, port, process=process))
+            for handle in handles:
+                handle.connect()
+        except BaseException:
+            for handle in handles:
+                handle.abandon()
+            for process in spawned:
+                if process.poll() is None:
+                    process.terminate()
+            raise
+        if not handles:
+            raise ClusterError(
+                "cluster has no workers: pass local_workers >= 1 or at "
+                "least one daemon address"
+            )
+        self._handles = handles
+        self._started = True
+        _LIVE_COORDINATORS.append(self)
+        return self
+
+    def close(self) -> None:
+        """Shut down owned daemons, drop attached ones (idempotent)."""
+        handles, self._handles = self._handles, []
+        self._started = False
+        if self in _LIVE_COORDINATORS:
+            _LIVE_COORDINATORS.remove(self)
+        for handle in handles:
+            handle.close()
+
+    # -- introspection -----------------------------------------------------
+
+    def handles(self) -> tuple:
+        return tuple(self._handles)
+
+    def alive_workers(self) -> list:
+        return [handle for handle in self._handles if handle.alive]
+
+    def worker_count(self) -> int:
+        return len(self.alive_workers())
+
+    def heartbeat(self) -> int:
+        """Ping every live worker; abandon the dead.  Returns survivors."""
+        for handle in self.alive_workers():
+            if not handle.ping():
+                handle.abandon()
+        return self.worker_count()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def run_jobs(self, jobs, ensure=None, max_attempts: int | None = None):
+        """Dispatch ``jobs`` across the live workers; requeue on loss.
+
+        ``ensure(handle, force=False)`` is called before each send — the
+        engine ships missing spec bytes there (``force=True`` after a
+        worker reported an evicted spec).  Returns ``(results, errors)``
+        keyed by ``job.key``: ``results`` holds RESULT payloads,
+        ``errors`` holds :class:`ClusterError` per failed job — every
+        job lands in exactly one of the two maps.  The error taxonomy:
+
+        * :class:`TransportError` (worker loss, including a wedged host
+          hitting ``run_timeout``) — abandon the worker, requeue the
+          in-flight job onto a survivor (up to ``max_attempts``, default
+          one try per initially-live worker plus one);
+        * :class:`ProtocolError` (wrong bytes) — the stream can no
+          longer be trusted, so the worker is abandoned, but the job
+          fails deterministically rather than requeueing;
+        * any other exception (a rejected spec, a worker-side ERROR
+          reply) — deterministic job failure; the worker keeps draining.
+        """
+        self.start()
+        pending = deque(jobs)
+        results: dict = {}
+        errors: dict = {}
+        if max_attempts is None:
+            max_attempts = self.worker_count() + 1
+        while pending:
+            alive = self.alive_workers()
+            if not alive:
+                for job in pending:
+                    errors[job.key] = ClusterError(
+                        "no cluster workers remain "
+                        f"(job was dispatched {job.attempts} times)"
+                    )
+                break
+            threads = [
+                threading.Thread(
+                    target=self._drain,
+                    args=(handle, pending, results, errors, ensure,
+                          max_attempts),
+                    daemon=True,
+                )
+                for handle in alive
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # pending is non-empty again only if a worker died and its
+            # job was requeued after the survivors' threads finished;
+            # loop to give the survivors another pass.
+        return results, errors
+
+    def _drain(self, handle, pending, results, errors, ensure,
+               max_attempts) -> None:
+        """One worker's dispatch loop: pull, ship specs, run, record."""
+        lock = self._lock
+        while handle.alive:
+            with lock:
+                if not pending:
+                    return
+                job = pending.popleft()
+            job.attempts += 1
+            try:
+                if ensure is not None:
+                    ensure(handle)
+                reply_type, payload = handle.request(
+                    job.message_type, job.payload, timeout=self.run_timeout
+                )
+                if (
+                    reply_type == wire.ERROR
+                    and payload.get("missing") is not None
+                    and ensure is not None
+                ):
+                    # The worker evicted a spec we shipped earlier:
+                    # re-ship and retry once.
+                    ensure(handle, force=True)
+                    reply_type, payload = handle.request(
+                        job.message_type, job.payload,
+                        timeout=self.run_timeout,
+                    )
+                sent_bytes = handle.last_sent_bytes
+            except TransportError as exc:
+                # Worker loss: abandon it and requeue the job for the
+                # survivors.
+                handle.abandon()
+                with lock:
+                    self.stats["requeues"] += 1
+                    if job.attempts >= max_attempts:
+                        errors[job.key] = ClusterError(
+                            f"job failed on {job.attempts} workers, "
+                            f"last at {handle.address}: {exc}"
+                        )
+                    else:
+                        pending.append(job)
+                return
+            except ProtocolError as exc:
+                # Wrong bytes are deterministic — no requeue — but the
+                # stream is no longer trustworthy: drop the worker too.
+                handle.abandon()
+                with lock:
+                    errors[job.key] = ClusterError(
+                        f"protocol failure at {handle.address}: {exc}"
+                    )
+                return
+            except Exception as exc:
+                # Deterministic dispatch failure (e.g. the worker
+                # rejected a spec in ensure): the request/response
+                # stream is still in step, so the worker keeps serving
+                # — but this job must land in errors, never vanish.
+                with lock:
+                    errors[job.key] = (
+                        exc if isinstance(exc, ClusterError)
+                        else ClusterError(
+                            f"dispatch to {handle.address} failed: {exc}"
+                        )
+                    )
+                continue
+            with lock:
+                self.stats["jobs"] += 1
+                self.stats["payload_bytes"] += sent_bytes
+                handle.jobs_done += 1
+                if reply_type == wire.RESULT:
+                    results[job.key] = payload
+                elif reply_type == wire.ERROR:
+                    errors[job.key] = ClusterError(
+                        payload.get("message", "worker error")
+                    )
+                else:
+                    errors[job.key] = ClusterError(
+                        f"unexpected reply {reply_type!r} from "
+                        f"{handle.address}"
+                    )
+
+    def __repr__(self):
+        return (
+            f"ClusterCoordinator({self.worker_count()}/{len(self._handles)} "
+            f"workers alive, started={self._started})"
+        )
+
+
+#: Coordinators not yet closed explicitly; drained at interpreter exit so
+#: stray worker daemons never outlive the parent (the daemons' own
+#: ``--orphan-exit`` is the backstop for SIGKILLed parents).
+_LIVE_COORDINATORS: list = []
+
+
+@atexit.register
+def _close_live_coordinators() -> None:  # pragma: no cover - exit path
+    while _LIVE_COORDINATORS:
+        _LIVE_COORDINATORS.pop().close()

@@ -51,7 +51,7 @@ from repro.analysis.packet_state import packet_state_mapping
 from repro.core.options import CompilerOptions
 from repro.core.program import Program
 from repro.core.result import EVENT_SCENARIOS, Snapshot
-from repro.dataplane.engine import ProcessPoolEngine
+from repro.dataplane.engine import make_session_engine
 from repro.dataplane.network import Network
 from repro.dataplane.rules import build_rule_tables
 from repro.lang.errors import SnapError
@@ -287,7 +287,8 @@ class SnapController:
         return self._network
 
     def close(self) -> None:
-        """Release session resources (the process-engine worker pool).
+        """Release session resources — the process-engine worker pool or
+        the cluster engine's worker daemons (no orphan children survive).
 
         Safe to call repeatedly; a closed session can keep issuing events
         — the engine recreates its pool on the next replay.
@@ -299,18 +300,18 @@ class SnapController:
     def _session_engine(self):
         """``options.engine``, resolved once per session when stateful.
 
-        ``"process"`` resolves to one session-owned
-        :class:`~repro.dataplane.engine.ProcessPoolEngine` so the worker
-        pool (and its rehydration caches) survives across replays and
-        TE hot swaps; stateless engine names pass through by name.
+        Stateful engine names (``"process"``, ``"cluster"``, anything
+        registered stateful) resolve to one session-owned instance —
+        a *private* one, not :func:`get_engine`'s shared one, because the
+        hot-swap restart on policy rebuilds must not tear down a pool
+        other sessions or ad-hoc replays are using — so worker pools,
+        daemons, and their rehydration caches survive across replays and
+        TE hot swaps.  Stateless engine names pass through by name.
         """
         engine = self._options.engine
-        if engine == "process":
-            if self._engine_runner is None:
-                # A *private* instance (not get_engine's shared one): the
-                # hot-swap restart on policy rebuilds must not tear down
-                # a pool other sessions or ad-hoc replays are using.
-                self._engine_runner = ProcessPoolEngine()
+        if self._engine_runner is None:
+            self._engine_runner = make_session_engine(engine)
+        if self._engine_runner is not None:
             return self._engine_runner
         return engine
 

@@ -27,7 +27,11 @@ class CompilerOptions:
     ``"sharded"`` (per-ingress state shards on parallel thread lanes),
     ``"process"`` (the same shards on a pool of worker processes — one
     session-owned pool that survives TE hot swaps, see
-    :mod:`repro.dataplane.engine`), or an engine instance.
+    :mod:`repro.dataplane.engine`), ``"cluster"`` (the same shards on
+    socket-connected worker daemons, local subprocesses or remote
+    hosts, see :mod:`repro.cluster`), any other name added through
+    :func:`repro.dataplane.engine.register_engine`, or an engine
+    instance.
     """
 
     solver: object = "milp"
@@ -35,8 +39,9 @@ class CompilerOptions:
     mip_rel_gap: float | None = None
     validate: bool = True
     stateful_switches: tuple | None = None
-    #: Data-plane execution engine for ``SnapController.network()``:
-    #: ``"sequential"`` | ``"sharded"`` | ``"process"`` | an instance.
+    #: Data-plane execution engine for ``SnapController.network()``: a
+    #: registered name (``"sequential"`` | ``"sharded"`` | ``"process"``
+    #: | ``"cluster"`` | ...) or an engine instance.
     engine: object = "sequential"
     #: How many snapshots ``SnapController.history()`` retains (oldest
     #: evicted first; ``current`` is always kept).  Each snapshot pins
@@ -53,10 +58,10 @@ class CompilerOptions:
                 self, "stateful_switches", tuple(self.stateful_switches)
             )
         if isinstance(self.engine, str):
-            from repro.dataplane.engine import ENGINE_NAMES
+            from repro.dataplane.engine import engine_names
 
-            if self.engine not in ENGINE_NAMES:
+            if self.engine not in engine_names():
                 raise ValueError(
-                    f"engine must be one of {ENGINE_NAMES} or an engine "
+                    f"engine must be one of {engine_names()} or an engine "
                     f"instance, got {self.engine!r}"
                 )

@@ -56,9 +56,13 @@ before the error is re-raised wrapped in a :class:`DataPlaneError` naming
 the failing shard.  The network is therefore never silently
 half-updated: what ran is recorded, and the exception says what did not.
 
-Select the engine with ``CompilerOptions(engine="sharded"|"process")``
-(threaded through :meth:`SnapController.network`) or pass ``engine=`` to
-:func:`repro.workloads.replay`.
+Engines are *pluggable*: :func:`register_engine` adds a named engine to
+the registry :func:`get_engine` and ``CompilerOptions`` validation
+consult, so new execution backends (the cluster daemons of
+:mod:`repro.cluster`, future accelerators) plug in without touching this
+module.  Select one with ``CompilerOptions(engine="sharded"|"process"|
+"cluster")`` (threaded through :meth:`SnapController.network`) or pass
+``engine=`` to :func:`repro.workloads.replay`.
 """
 
 from __future__ import annotations
@@ -82,20 +86,20 @@ from repro.dataplane.header import (
     SNAP_NODE,
     SNAP_OUTPORT,
 )
-from repro.dataplane.netasm import from_lowered
+from repro.dataplane.netasm import revive_programs
 from repro.dataplane.network import (
     _EXEC_KEYS,
     MAX_HOPS,
     DeliveryRecord,
     Network,
+    exec_network_spec,
+    exec_program_spec,
+    worker_network,
 )
-from repro.dataplane.rules import RuleTables
-from repro.lang.errors import DataPlaneError, SnapError
+from repro.lang.errors import DataPlaneError
 from repro.lang.packet import Packet
+from repro.util.registry import EngineRegistry
 from repro.xfdd.diagram import iter_paths
-
-#: The engine names CompilerOptions accepts.
-ENGINE_NAMES = ("sequential", "sharded", "process")
 
 
 # -- shard analysis -----------------------------------------------------------
@@ -259,6 +263,27 @@ def plan_for(network: Network) -> ShardPlan:
     return plan
 
 
+def refresh_exec_keys(network: Network) -> None:
+    """Mint fresh worker-cache tokens after in-place mutation.
+
+    The exec tokens normally change only through ``__init__`` /
+    ``rewire``; grafting a different program onto an existing network
+    object (the same mutation path the shard-plan cache self-invalidates
+    on) would otherwise hit warm worker caches — in worker processes or
+    on cluster daemons — built for the *old* program.  The fingerprint
+    matches the plan cache's: the xFDD root by identity plus the port
+    map.
+    """
+    fingerprint = _plan_cache_key(network)
+    observed = getattr(network, "_exec_fingerprint", None)
+    if observed is None:
+        network._exec_fingerprint = fingerprint
+    elif not _same_key(observed, fingerprint):
+        network._exec_fingerprint = fingerprint
+        network._exec_program_key = next(_EXEC_KEYS)
+        network._exec_network_key = next(_EXEC_KEYS)
+
+
 # -- engines ------------------------------------------------------------------
 
 
@@ -273,6 +298,23 @@ def _split_batches(plan: ShardPlan, arrivals) -> list:
             raise DataPlaneError(f"no OBS port {port} in the topology")
         batches.setdefault(shard, []).append((index, packet, port))
     return sorted(batches.items())
+
+
+def batch_footprint(plan: ShardPlan, batch) -> frozenset:
+    """The state variables one batch can actually touch.
+
+    The union of the batch's ingress ports' footprints — a subset of the
+    shard's variables (a shard owns the footprints of *all* its ports,
+    but a given batch may only enter through some of them).  Shipping
+    only this slice to a remote lane is sound for the same reason the
+    shards are: packets entering elsewhere provably never read or write
+    the rest.
+    """
+    ports = {port for _, _, port in batch}
+    footprint = plan.footprint
+    return frozenset().union(
+        *(footprint.get(port, frozenset()) for port in ports)
+    ) if ports else frozenset()
 
 
 def _merge_lane_outcomes(network: Network, lane_results, total: int,
@@ -385,9 +427,12 @@ class ProcessPoolEngine:
     """Per-shard parallel execution on a pool of worker *processes*.
 
     Each disjoint-state shard's batch ships to a worker along with the
-    shard's private state; the worker runs the same compiled lane the
-    thread engine uses — against a network rehydrated from the pure-data
-    :class:`~repro.dataplane.netasm.LoweredProgram` form — and sends back
+    *footprint-restricted* slice of the shard's private state — only the
+    variables the batch's ingress ports can actually touch, the same
+    restriction the batched OBS mirror ships — and the worker runs the
+    same compiled lane the thread engine uses, against a network
+    rehydrated from the pure-data
+    :class:`~repro.dataplane.netasm.LoweredProgram` form, sending back
     ``(records, link counters, state deltas)``, which the parent merges
     in deterministic global arrival order.  Workers cache rehydrated
     programs and networks in per-process tables keyed by the network's
@@ -395,6 +440,8 @@ class ProcessPoolEngine:
     gone; each task still carries the (parent-side cached) spec bytes —
     a worker cannot be targeted, so the parent cannot know which workers
     are warm — but warm workers never deserialize them.
+    :attr:`last_run_stats` records what the previous :meth:`run` shipped
+    (lanes, state bytes, spec bytes) for the benchmarks.
 
     The pool is created lazily on first :meth:`run` and survives across
     calls (and across TE ``rewire`` hot swaps — the program token is
@@ -414,6 +461,9 @@ class ProcessPoolEngine:
         self.max_workers = max_workers
         self._pool = None
         self._spec_cache: tuple | None = None  # (network_key, bytes)
+        #: What the previous run shipped: ``{"lanes", "state_bytes",
+        #: "spec_bytes"}`` (zeros for inline fallbacks).
+        self.last_run_stats: dict = {}
 
     def run(self, network: Network, arrivals) -> list:
         arrivals = list(arrivals)
@@ -425,23 +475,36 @@ class ProcessPoolEngine:
             # process buys no parallelism — run inline with identical
             # semantics (state mutated in place, exactly like a
             # completed worker merge).
+            self.last_run_stats = {
+                "lanes": len(batches), "state_bytes": 0, "spec_bytes": 0,
+            }
             return ShardedEngine(max_workers=1).run(network, arrivals)
-        self._refresh_exec_keys(network)
+        refresh_exec_keys(network)
         program_key = network._exec_program_key
         network_key = network._exec_network_key
         spec_bytes = self._spec_bytes(network, network_key)
         pool = self._ensure_pool(workers)
         futures = []
+        state_bytes = 0
         try:
             for shard_index, batch in batches:
                 shard = plan.shards[shard_index]
+                variables = batch_footprint(plan, batch)
+                # Pre-pickled once: the worker unpickles this blob, so
+                # the byte accounting below is free instead of a second
+                # serialization of the same tables.
+                state_blob = pickle.dumps(
+                    network.extract_shard_state(variables),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                state_bytes += len(state_blob)
                 payload = (
                     program_key,
                     network_key,
                     spec_bytes,
                     shard.ports,
-                    tuple(sorted(shard.variables)),
-                    network.extract_shard_state(shard.variables),
+                    tuple(sorted(variables)),
+                    state_blob,
                     batch,
                 )
                 futures.append(
@@ -454,6 +517,12 @@ class ProcessPoolEngine:
             raise DataPlaneError(
                 f"process-pool engine lost its workers: {exc}"
             ) from exc
+        self.last_run_stats = {
+            "lanes": len(batches),
+            "state_bytes": state_bytes,
+            # A worker cannot be targeted, so every task carries the spec.
+            "spec_bytes": len(spec_bytes) * len(batches),
+        }
         outcomes: list = []
         failure = None
         for shard_index, future in futures:
@@ -481,26 +550,6 @@ class ProcessPoolEngine:
         return plan_for(network)
 
     # -- pool and spec lifecycle ------------------------------------------
-
-    @staticmethod
-    def _refresh_exec_keys(network: Network) -> None:
-        """Mint fresh worker-cache tokens after in-place mutation.
-
-        The exec tokens normally change only through ``__init__`` /
-        ``rewire``; grafting a different program onto an existing
-        network object (the same mutation path the shard-plan cache
-        self-invalidates on) would otherwise hit warm worker caches
-        built for the *old* program.  The fingerprint matches the plan
-        cache's: the xFDD root by identity plus the port map.
-        """
-        fingerprint = _plan_cache_key(network)
-        observed = getattr(network, "_exec_fingerprint", None)
-        if observed is None:
-            network._exec_fingerprint = fingerprint
-        elif not _same_key(observed, fingerprint):
-            network._exec_fingerprint = fingerprint
-            network._exec_program_key = next(_EXEC_KEYS)
-            network._exec_network_key = next(_EXEC_KEYS)
 
     def _spec_bytes(self, network: Network, network_key) -> bytes:
         cached = self._spec_cache
@@ -550,30 +599,58 @@ def _shutdown_live_pools() -> None:  # pragma: no cover - exit path
         _LIVE_POOLS.pop().shutdown(wait=False, cancel_futures=True)
 
 
-#: The ProcessPoolEngine behind the *name* "process": one shared
-#: instance, so ad-hoc ``replay(..., engine="process")`` calls reuse one
-#: pool instead of leaking a fresh pool per call.  Sessions that want a
-#: private pool (``SnapController``) construct their own instance.
-_shared_process_engine: ProcessPoolEngine | None = None
+# -- the engine registry ------------------------------------------------------
+#
+# Engines plug in by name: an entry maps a name to a factory (a callable
+# returning a fresh engine, or a lazy "module:attr" string resolved on
+# first use, so registering a name does not import its implementation).
+# *Stateful* engines own OS resources (worker pools, daemons); their
+# *name* resolves to one shared instance so ad-hoc ``replay(...,
+# engine="process")`` calls reuse one pool instead of leaking a pool per
+# call, while sessions get a private instance via make_session_engine.
+
+_ENGINE_REGISTRY = EngineRegistry("data-plane engine")
+
+
+def register_engine(name: str, factory, *, stateful: bool = False) -> None:
+    """Register (or replace) a named data-plane engine.
+
+    ``factory`` is a zero-argument callable returning an engine, or a
+    ``"module:attr"`` string resolved lazily on first use.  ``stateful``
+    engines are shared per name by :func:`get_engine` and instantiated
+    privately per session by :func:`make_session_engine`.
+    """
+    _ENGINE_REGISTRY.register(name, factory, stateful=stateful)
+
+
+def engine_names() -> tuple:
+    """The registered engine names ``CompilerOptions`` accepts."""
+    return _ENGINE_REGISTRY.names()
 
 
 def get_engine(engine):
     """Resolve an engine name (or pass an engine instance through)."""
-    if engine is None or engine == "sequential":
-        return SequentialEngine()
-    if engine == "sharded":
-        return ShardedEngine()
-    if engine == "process":
-        global _shared_process_engine
-        if _shared_process_engine is None:
-            _shared_process_engine = ProcessPoolEngine()
-        return _shared_process_engine
-    if hasattr(engine, "run"):
-        return engine
-    raise SnapError(
-        f"unknown data-plane engine {engine!r}; expected one of "
-        f"{ENGINE_NAMES} or an engine instance"
-    )
+    return _ENGINE_REGISTRY.resolve(engine)
+
+
+def make_session_engine(engine):
+    """A *private* instance for a session, or None to use the name as-is.
+
+    Stateful engine names (``"process"``, ``"cluster"``) get one
+    instance per controller session, so the session lifecycle (pool
+    survives TE rewires, restarts on policy rebuilds, ``close()`` tears
+    it down) never touches a pool other sessions or ad-hoc replays are
+    using.  Stateless names and engine instances return None — the
+    caller passes them through unchanged.
+    """
+    return _ENGINE_REGISTRY.session_instance(engine)
+
+
+register_engine("sequential", SequentialEngine)
+register_engine("sharded", ShardedEngine)
+register_engine("process", ProcessPoolEngine, stateful=True)
+# Lazy: resolving the name imports repro.cluster only when first used.
+register_engine("cluster", "repro.cluster.engine:ClusterEngine", stateful=True)
 
 
 # -- the per-shard lane -------------------------------------------------------
@@ -827,66 +904,17 @@ class _Lane:
 # -- process-pool worker side -------------------------------------------------
 #
 # A worker never sees the parent's Network: it receives a *spec* — a
-# pickled dict of pure data (lowered programs, routing tables, port map,
-# reverse adjacency, packet-state mapping, placement, demands) — and
-# rehydrates a lane-capable Network from it.  Rehydration happens once per
-# process per network token; the per-program half (closure re-closing,
-# the expensive part) is cached separately so TE rewires reuse it.
-
-
-class _WorkerGraph:
-    """Reverse-adjacency view backing ``topology.graph.pred``."""
-
-    __slots__ = ("pred",)
-
-    def __init__(self, pred: dict):
-        self.pred = pred
-
-
-class _WorkerTopology:
-    """Just enough topology for the per-lane fast path."""
-
-    __slots__ = ("ports", "graph", "name")
-
-    def __init__(self, ports: dict, pred: dict):
-        self.ports = ports
-        self.graph = _WorkerGraph(pred)
-        self.name = "worker"
-
-    def port_switch(self, port: int) -> str:
-        try:
-            return self.ports[port]
-        except KeyError:
-            raise DataPlaneError(f"unknown OBS port {port}") from None
-
-
-class _WorkerRouting:
-    """Path table shim satisfying ``Network._init_routing_indices``."""
-
-    __slots__ = ("paths",)
-
-    def __init__(self, paths: dict):
-        self.paths = paths
+# pickled dict of pure data (see network.exec_network_spec /
+# exec_program_spec) — and rehydrates a lane-capable Network from it.
+# Rehydration happens once per process per network token; the per-program
+# half (closure re-closing, the expensive part) is cached separately so
+# TE rewires reuse it.
 
 
 def _network_spec_bytes(network: Network) -> bytes:
     """Serialize everything a worker lane needs, as pure data."""
-    topology = network.topology
-    graph = topology.graph
-    spec = {
-        "ports": dict(topology.ports),
-        "pred": {node: tuple(graph.pred[node]) for node in graph.pred},
-        "paths": {flow: tuple(path) for flow, path in network.routing.paths.items()},
-        "tables": {sw: dict(tbl) for sw, tbl in network.rules.tables.items()},
-        "mapping": network.mapping,
-        "placement": dict(network.placement),
-        "demands": dict(network.demands),
-        "state_defaults": dict(network.state_defaults),
-        "programs": {
-            name: program.to_lowered()
-            for name, program in network.switches.items()
-        },
-    }
+    spec = exec_network_spec(network)
+    spec["programs"] = exec_program_spec(network)
     return pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
 
 
@@ -910,28 +938,10 @@ def _worker_network(program_key, network_key, spec_bytes: bytes) -> Network:
     spec = pickle.loads(spec_bytes)
     programs = _WORKER_PROGRAMS.get(program_key)
     if programs is None:
-        programs = {
-            name: from_lowered(lowered)
-            for name, lowered in spec["programs"].items()
-        }
+        programs = revive_programs(spec["programs"])
         _WORKER_PROGRAMS[program_key] = programs
         _trim_cache(_WORKER_PROGRAMS)
-    network = object.__new__(Network)
-    network.topology = _WorkerTopology(spec["ports"], spec["pred"])
-    network.placement = spec["placement"]
-    network.routing = _WorkerRouting(spec["paths"])
-    network.mapping = spec["mapping"]
-    network.demands = spec["demands"]
-    network.index = None  # lanes never consult the xFDD
-    network.rules = RuleTables(spec["tables"])
-    network.state_defaults = spec["state_defaults"]
-    network.switches = programs
-    network.link_packets = {}
-    network.deliveries = []
-    network.default_engine = "sequential"
-    network._exec_program_key = program_key
-    network._exec_network_key = network_key
-    network._init_routing_indices()
+    network = worker_network(spec, programs, program_key, network_key)
     _WORKER_NETWORKS[network_key] = network
     _trim_cache(_WORKER_NETWORKS)
     return network
@@ -945,9 +955,9 @@ def _process_lane(payload: tuple):
     state for the parent to merge.
     """
     (program_key, network_key, spec_bytes,
-     ports, variables, state, batch) = payload
+     ports, variables, state_blob, batch) = payload
     network = _worker_network(program_key, network_key, spec_bytes)
-    network.install_shard_state(state)
+    network.install_shard_state(pickle.loads(state_blob))
     lane = _Lane(network, Shard(tuple(ports), frozenset(variables)), batch)
     records, links = lane.run()
     return records, links, network.extract_shard_state(variables)

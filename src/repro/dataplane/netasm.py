@@ -543,6 +543,22 @@ def from_lowered(lowered: LoweredProgram) -> SwitchProgram:
     )
 
 
+def lower_programs(switches: dict) -> dict:
+    """The pure-data form of a whole data plane: ``{switch: LoweredProgram}``.
+
+    This is the byte-level unit the execution-spec serialization ships to
+    worker processes and cluster daemons — pickle it once, key it by the
+    network's ``_exec_program_key``, and every executor that already holds
+    that key never needs the bytes again (a TE ``rewire`` keeps the key).
+    """
+    return {name: program.to_lowered() for name, program in switches.items()}
+
+
+def revive_programs(lowered: dict) -> dict:
+    """Rehydrate a whole data plane from :func:`lower_programs` output."""
+    return {name: from_lowered(lp) for name, lp in lowered.items()}
+
+
 def compile_switch(
     switch: str,
     xfdd: XFDD,

@@ -476,3 +476,103 @@ class Network:
             f"Network({self.topology.name}, switches={len(self.switches)}, "
             f"rules={self.rules.total_rules()})"
         )
+
+
+# -- execution-spec serialization (worker processes and cluster daemons) ------
+#
+# A remote executor never sees the parent's Network: it receives a *spec*
+# of pure data and rehydrates a lane-capable Network from it.  The spec is
+# split along the exec-token boundary: the *program* half (the lowered
+# switch programs, keyed ``_exec_program_key``) is the expensive part and
+# survives TE rewires; the *network* half (routing tables, port map,
+# reverse adjacency, packet-state mapping, placement, demands, keyed
+# ``_exec_network_key``) is rebuilt per rewire.  Shipping them separately
+# is what lets a cluster coordinator rewire a warm worker with zero
+# program bytes on the wire.
+
+
+class _WorkerGraph:
+    """Reverse-adjacency view backing ``topology.graph.pred``."""
+
+    __slots__ = ("pred",)
+
+    def __init__(self, pred: dict):
+        self.pred = pred
+
+
+class _WorkerTopology:
+    """Just enough topology for the per-lane fast path."""
+
+    __slots__ = ("ports", "graph", "name")
+
+    def __init__(self, ports: dict, pred: dict):
+        self.ports = ports
+        self.graph = _WorkerGraph(pred)
+        self.name = "worker"
+
+    def port_switch(self, port: int) -> str:
+        try:
+            return self.ports[port]
+        except KeyError:
+            raise DataPlaneError(f"unknown OBS port {port}") from None
+
+
+class _WorkerRouting:
+    """Path table shim satisfying ``Network._init_routing_indices``."""
+
+    __slots__ = ("paths",)
+
+    def __init__(self, paths: dict):
+        self.paths = paths
+
+
+def exec_program_spec(network: Network) -> dict:
+    """The program half of the execution spec: ``{switch: LoweredProgram}``."""
+    from repro.dataplane.netasm import lower_programs
+
+    return lower_programs(network.switches)
+
+
+def exec_network_spec(network: Network) -> dict:
+    """The network half of the execution spec (pure data, no programs)."""
+    topology = network.topology
+    graph = topology.graph
+    return {
+        "ports": dict(topology.ports),
+        "pred": {node: tuple(graph.pred[node]) for node in graph.pred},
+        "paths": {flow: tuple(path) for flow, path in network.routing.paths.items()},
+        "tables": {sw: dict(tbl) for sw, tbl in network.rules.tables.items()},
+        "mapping": network.mapping,
+        "placement": dict(network.placement),
+        "demands": dict(network.demands),
+        "state_defaults": dict(network.state_defaults),
+    }
+
+
+def worker_network(
+    spec: dict, programs: dict, program_key, network_key
+) -> Network:
+    """A lane-capable Network rehydrated from an execution spec.
+
+    ``programs`` is the (already revived, possibly cached) switch-program
+    set; two networks rehydrated with the same programs share state
+    stores, exactly like the parent's ``rewire`` path.  The result runs
+    the compiled per-shard lane but never consults an xFDD.
+    """
+    network = object.__new__(Network)
+    network.topology = _WorkerTopology(spec["ports"], spec["pred"])
+    network.placement = spec["placement"]
+    network.routing = _WorkerRouting(spec["paths"])
+    network.mapping = spec["mapping"]
+    network.demands = spec["demands"]
+    network.index = None  # lanes never consult the xFDD
+    network.rules = RuleTables(spec["tables"])
+    network.state_defaults = spec["state_defaults"]
+    network.switches = programs
+    network.link_packets = {}
+    network.deliveries = []
+    network.default_engine = "sequential"
+    network._exec_program_key = program_key
+    network._exec_network_key = network_key
+    network._init_routing_indices()
+    return network

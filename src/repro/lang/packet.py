@@ -67,6 +67,13 @@ class Packet:
         keys = set(self._fields) | set(other._fields)
         return all(self._fields.get(k) == other._fields.get(k) for k in keys)
 
+    def __reduce__(self):
+        # The cached hash must never cross an interpreter boundary:
+        # string hashing is PYTHONHASHSEED-randomized per process, so a
+        # hash computed in a worker daemon (or a spawn-started pool
+        # worker) would poison hash containers here.  Rehash on arrival.
+        return (Packet, (self._fields,))
+
     def __hash__(self):
         if self._hash is None:
             items = tuple(

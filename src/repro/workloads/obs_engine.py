@@ -24,8 +24,11 @@ group's packets can never influence another group's outputs or writes.
 The result is byte-identical to the sequential mirror's ``(store,
 outputs)`` — the equivalence tests assert exactly that.
 
-Select with ``replay_obs(..., engine="batched"|"process")`` or pass an
-engine instance.
+Mirror engines are pluggable the same way data-plane engines are:
+:func:`register_obs_engine` adds a name to the registry
+:func:`get_obs_engine` consults (the cluster mirror registers
+``"cluster"``).  Select with ``replay_obs(...,
+engine="batched"|"process"|"cluster")`` or pass an engine instance.
 """
 
 from __future__ import annotations
@@ -43,10 +46,8 @@ from repro.lang.errors import SnapError
 from repro.lang.fields import FieldRegistry
 from repro.lang.semantics import eval_policy
 from repro.lang.state import Store
+from repro.util.registry import EngineRegistry
 from repro.xfdd.build import build_xfdd
-
-#: The engine names replay_obs accepts.
-OBS_ENGINE_NAMES = ("sequential", "batched", "process")
 
 
 def _eval_batch(policy: ast.Policy, store: Store, batch) -> tuple:
@@ -176,11 +177,7 @@ class BatchedObsEngine:
              groups[group][1], batch)
             for group, batch in sorted(batches.items())
         ]
-        if self.processes and len(payloads) > 1:
-            pool = self._ensure_pool()
-            results = list(pool.map(_obs_worker, payloads))
-        else:
-            results = [_obs_worker(payload) for payload in payloads]
+        results = self._map_payloads(payloads)
 
         # Deterministic merge: outputs in global arrival order; each
         # group's footprint variables written back into one final store.
@@ -193,6 +190,16 @@ class BatchedObsEngine:
                 variable.default = default
                 variable._table = dict(table)
         return final, [outputs[i] for i in range(len(arrivals))]
+
+    def _map_payloads(self, payloads) -> list:
+        """Evaluate the per-group payloads; returns ``(state, outputs)``
+        per payload, in payload order.  The one hook subclasses (the
+        cluster mirror) override — planning and merge stay shared, so
+        behaviour can never drift between mirror backends."""
+        if self.processes and len(payloads) > 1:
+            pool = self._ensure_pool()
+            return list(pool.map(_obs_worker, payloads))
+        return [_obs_worker(payload) for payload in payloads]
 
     #: Plan-cache entries kept per engine (shared engines outlive any
     #: one policy; unbounded growth would pin every policy ever seen).
@@ -239,25 +246,41 @@ class BatchedObsEngine:
         return f"BatchedObsEngine({mode}, max_workers={self.max_workers})"
 
 
-#: One engine per *name*: ad-hoc ``replay_obs(..., engine="process")``
-#: calls share a pool (and its plan cache) instead of leaking a fresh
-#: pool per call.  Callers wanting a private pool pass an instance.
-_shared_engines: dict = {}
+# -- the mirror-engine registry -----------------------------------------------
+#
+# The same EngineRegistry as the data-plane engines: names map to
+# factories (or lazy "module:attr" strings), and *stateful* names
+# (engines owning pools or daemons) resolve to one shared instance per
+# name, so ad-hoc ``replay_obs(..., engine="process")`` calls share a
+# pool (and its plan cache) instead of leaking a fresh pool per call.
+# Callers wanting a private pool pass an instance.
+
+_OBS_REGISTRY = EngineRegistry("OBS mirror engine")
+
+
+def register_obs_engine(name: str, factory, *, stateful: bool = False) -> None:
+    """Register (or replace) a named OBS mirror engine."""
+    _OBS_REGISTRY.register(name, factory, stateful=stateful)
+
+
+def obs_engine_names() -> tuple:
+    """The registered mirror-engine names ``replay_obs`` accepts."""
+    return _OBS_REGISTRY.names()
 
 
 def get_obs_engine(engine):
     """Resolve an OBS mirror engine name (instances pass through)."""
-    if engine is None or engine == "sequential":
-        return SequentialObsEngine()
-    if engine in ("batched", "process"):
-        shared = _shared_engines.get(engine)
-        if shared is None:
-            shared = BatchedObsEngine(processes=(engine == "process"))
-            _shared_engines[engine] = shared
-        return shared
-    if hasattr(engine, "run"):
-        return engine
-    raise SnapError(
-        f"unknown OBS mirror engine {engine!r}; expected one of "
-        f"{OBS_ENGINE_NAMES} or an engine instance"
-    )
+    return _OBS_REGISTRY.resolve(engine)
+
+
+register_obs_engine("sequential", SequentialObsEngine)
+register_obs_engine(
+    "batched", lambda: BatchedObsEngine(processes=False), stateful=True
+)
+register_obs_engine(
+    "process", lambda: BatchedObsEngine(processes=True), stateful=True
+)
+# Lazy: resolving the name imports repro.cluster only when first used.
+register_obs_engine(
+    "cluster", "repro.cluster.engine:ClusterObsEngine", stateful=True
+)

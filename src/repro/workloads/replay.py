@@ -81,9 +81,11 @@ def replay(trace: Trace, network: Network, engine=None) -> ReplayStats:
     """Drive the trace through the network; returns delivery statistics.
 
     ``engine`` picks the execution engine (``"sequential"`` |
-    ``"sharded"`` | ``"process"`` | an engine instance — the
-    ``"process"`` name resolves to one shared pool across calls); when
-    ``None`` the network's ``default_engine`` applies
+    ``"sharded"`` | ``"process"`` | ``"cluster"`` | any name added via
+    :func:`repro.dataplane.engine.register_engine` | an engine instance
+    — stateful names like ``"process"`` and ``"cluster"`` resolve to one
+    shared pool/daemon-set across calls); when ``None`` the network's
+    ``default_engine`` applies
     (``CompilerOptions.engine`` for networks obtained from
     :meth:`SnapController.network`).  Every engine is
     delivery-equivalent to per-packet :meth:`~Network.inject` calls.
@@ -104,9 +106,9 @@ def replay_obs(
 
     Returns ``(final_store, outputs)`` where outputs is a list of
     per-packet frozensets.  ``engine`` selects the mirror engine
-    (``"sequential"`` | ``"batched"`` | ``"process"`` | an instance, see
-    :mod:`repro.workloads.obs_engine`); every engine returns exactly
-    the sequential mirror's ``(store, outputs)``.
+    (``"sequential"`` | ``"batched"`` | ``"process"`` | ``"cluster"`` |
+    an instance, see :mod:`repro.workloads.obs_engine`); every engine
+    returns exactly the sequential mirror's ``(store, outputs)``.
     """
     from repro.workloads.obs_engine import get_obs_engine
 

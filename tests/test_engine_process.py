@@ -30,6 +30,7 @@ from repro.apps import (
     stateful_firewall,
     syn_flood_detect,
 )
+from repro.cluster import ClusterEngine
 from repro.core.controller import SnapController
 from repro.core.options import CompilerOptions
 from repro.core.program import Program
@@ -58,11 +59,18 @@ from tests.test_engine import (
 #: (pools are long-lived) and keeps the hypothesis property affordable.
 ENGINE = ProcessPoolEngine(max_workers=2)
 
+#: And one 2-daemon cluster, for the cross-engine property: daemons (like
+#: pools) are long-lived, and their spec caches turn over per generated
+#: policy — exactly the cache-churn regime the bounded worker caches and
+#: the missing-spec re-ship path must survive.
+CLUSTER = ClusterEngine(workers=2)
+
 
 @pytest.fixture(scope="module", autouse=True)
 def _shared_pool():
     yield
     ENGINE.close()
+    CLUSTER.close()
 
 
 def assert_process_equivalent(snapshot, trace, engine=None):
@@ -309,7 +317,8 @@ class TestPoolLifecycle:
 #
 # Random policies over the campus: optionally per-port sharded counters,
 # optionally a global (unshardable) counter, optionally multicast and
-# partial drops in the egress stage.  Every engine must agree with the
+# partial drops in the egress stage.  Every engine — thread lanes,
+# process-pool lanes, and the 2-daemon cluster — must agree with the
 # sequential baseline field by field, including the final global store.
 
 MULTICAST_EGRESS = ast.If(
@@ -403,6 +412,7 @@ def test_cross_engine_equivalence(case):
         "sequential": snapshot.build_network(),
         "sharded": snapshot.build_network(),
         "process": snapshot.build_network(),
+        "cluster": snapshot.build_network(),
     }
     try:
         baseline_run = SequentialEngine().run(nets["sequential"], arrivals)
@@ -416,10 +426,11 @@ def test_cross_engine_equivalence(case):
         "sequential": baseline_run,
         "sharded": ShardedEngine(max_workers=2).run(nets["sharded"], arrivals),
         "process": ENGINE.run(nets["process"], arrivals),
+        "cluster": CLUSTER.run(nets["cluster"], arrivals),
     }
     baseline = results["sequential"]
     base_store = nets["sequential"].global_store()
-    for name in ("sharded", "process"):
+    for name in ("sharded", "process", "cluster"):
         assert len(results[name]) == len(baseline), name
         for a, b in zip(baseline, results[name]):
             assert record_view(a) == record_view(b), name
