@@ -71,6 +71,7 @@ def test_compose_cache(benchmark, app_name):
         "uncached_ms": round(uncached_s * 1000, 3),
         "speedup": round(speedup, 2),
         "hit_rate": round(stats["cache_hit_rate"], 4),
+        "bypassed": stats["cache_bypassed"],
         "cache_entries": stats["cache_entries"],
         "intern_size": stats["intern_size"],
     })
@@ -82,7 +83,7 @@ def test_zz_report(benchmark):
     print_table(
         "xFDD composition: apply-cache on vs off (Table 3 apps + egress)",
         ("application", "xFDD size", "cached", "uncached", "speedup",
-         "hit rate", "intern"),
+         "hit rate", "bypass", "intern"),
         [
             (
                 row["app"],
@@ -91,6 +92,7 @@ def test_zz_report(benchmark):
                 f"{row['uncached_ms']:.1f}ms",
                 f"{row['speedup']:.2f}x",
                 f"{row['hit_rate'] * 100:.0f}%",
+                "yes" if row["bypassed"] else "-",
                 row["intern_size"],
             )
             for row in _RESULTS
@@ -100,3 +102,15 @@ def test_zz_report(benchmark):
     merge_bench_results("apps", _RESULTS)
     # The engine must be caching *something* on every app.
     assert all(row["hit_rate"] > 0 for row in _RESULTS)
+    # The adaptive bypass must keep every app near parity with the
+    # uncached reference.  Before it, the TCP state machine composed at
+    # 0.62x (the cache paid key construction on ~9k lookups whose
+    # windowed hit rate had collapsed to ~1%); with it, the bypassed
+    # apps measure 0.73-1.01x run to run — the pre-trip prefix still
+    # pays cache overhead, and these are millisecond-scale best-of-3
+    # wall-clock measurements on a shared host (healthy apps themselves
+    # jitter in the 0.85-1.1x band).  The floor separates that noise
+    # from the old pathology.
+    assert all(row["speedup"] >= 0.7 for row in _RESULTS), [
+        (row["app"], row["speedup"]) for row in _RESULTS
+    ]

@@ -9,11 +9,14 @@ read-merge-write through a temp file plus an atomic ``os.replace``, so
 concurrent bench invocations (CI runs several in one job, and developers
 run them ad hoc) can never interleave into a torn or half-written file —
 the worst case for two simultaneous writers is last-merge-wins on one
-key, never corruption.
+key, never corruption.  Every merged value is stamped with the host
+environment (CPU count, Python and NumPy versions) so trajectory numbers
+from different machines are never compared blind.
 """
 
 import json
 import os
+import platform
 import sys
 import tempfile
 from pathlib import Path
@@ -21,6 +24,35 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 
 BENCH_JSON_PATH = Path(__file__).parent / "BENCH_xfdd.json"
+
+
+def bench_environment() -> dict:
+    """The measurement context recorded with every bench key."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+    }
+
+
+def _attach_environment(value):
+    """Stamp ``value`` with :func:`bench_environment`, uniformly.
+
+    Dict values get an ``env`` key (kept if the bench already wrote its
+    own); list values (rows) are wrapped as ``{"env": ..., "rows": ...}``
+    so the stamp has somewhere to live.  Scalars pass through untouched.
+    """
+    if isinstance(value, dict):
+        value.setdefault("env", bench_environment())
+        return value
+    if isinstance(value, list):
+        return {"env": bench_environment(), "rows": value}
+    return value
 
 
 def merge_bench_results(key: str, value, path: Path = BENCH_JSON_PATH) -> None:
@@ -31,7 +63,7 @@ def merge_bench_results(key: str, value, path: Path = BENCH_JSON_PATH) -> None:
         # Missing on first run; a decode error can only be a torn write
         # from a pre-atomic-rename version — start the file over.
         data = {}
-    data[key] = value
+    data[key] = _attach_environment(value)
     fd, tmp = tempfile.mkstemp(
         dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
     )

@@ -80,9 +80,15 @@ class ClusterEngine:
 
     name = "cluster"
 
-    def __init__(self, workers: int = 2, addresses=()):
+    def __init__(self, workers: int = 2, addresses=(), lane=None):
+        if lane not in (None, "scalar", "vector", "vector-jit"):
+            raise ClusterError(f"unknown lane kind {lane!r}")
         self.workers = workers
         self.addresses = tuple(addresses)
+        #: Lane opt-in: "vector" / "vector-jit" asks every worker daemon
+        #: to run its shard on the columnar tier (a worker without numpy
+        #: silently runs the scalar lane — semantics are identical).
+        self.lane = lane
         self._coordinator: ClusterCoordinator | None = None
         self._program_cache: tuple | None = None  # (program_key, bytes)
         self._network_cache: tuple | None = None  # (network_key, bytes)
@@ -101,7 +107,7 @@ class ClusterEngine:
                 "workers": 0, "lanes": len(batches), "program_bytes": 0,
                 "network_bytes": 0, "payload_bytes": 0, "requeues": 0,
             }
-            return ShardedEngine(max_workers=1).run(network, arrivals)
+            return self._inline_engine().run(network, arrivals)
         refresh_exec_keys(network)
         program_key = network._exec_program_key
         network_key = network._exec_network_key
@@ -163,6 +169,7 @@ class ClusterEngine:
                 "variables": tuple(sorted(variables)),
                 "state": network.extract_shard_state(variables),
                 "batch": batch,
+                "lane": self.lane,
             }
             jobs.append(Job(shard_index, wire.RUN_SHARD, payload))
         results, errors = coordinator.run_jobs(jobs, ensure=ensure)
@@ -195,6 +202,23 @@ class ClusterEngine:
                 self.close()
             _raise_lane_failure(plan, min(errors), errors[min(errors)])
         return merged
+
+    def _inline_engine(self) -> ShardedEngine:
+        """The ≤1-lane inline fallback, honoring the lane opt-in."""
+        if self.lane in ("vector", "vector-jit"):
+            try:
+                from repro.dataplane.vector import (
+                    VectorEngine,
+                    VectorJitEngine,
+                )
+
+                cls = VectorJitEngine if self.lane == "vector-jit" else (
+                    VectorEngine
+                )
+                return cls(max_workers=1)
+            except Exception:  # numpy missing: scalar, same semantics
+                pass
+        return ShardedEngine(max_workers=1)
 
     def plan_for(self, network: Network):
         """The network's shard plan (cached, mutation-invalidated)."""

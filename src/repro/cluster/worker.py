@@ -205,10 +205,11 @@ class WorkerDaemon:
                 return
             self._active += 1
             try:
-                from repro.dataplane.engine import Shard, _Lane
+                from repro.dataplane.engine import Shard, make_lane
 
                 network.install_shard_state(payload["state"])
-                lane = _Lane(
+                lane = make_lane(
+                    payload.get("lane"),
                     network,
                     Shard(
                         tuple(payload["ports"]),

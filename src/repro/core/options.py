@@ -29,7 +29,10 @@ class CompilerOptions:
     session-owned pool that survives TE hot swaps, see
     :mod:`repro.dataplane.engine`), ``"cluster"`` (the same shards on
     socket-connected worker daemons, local subprocesses or remote
-    hosts, see :mod:`repro.cluster`), any other name added through
+    hosts, see :mod:`repro.cluster`), ``"vector"`` / ``"vector-jit"``
+    (the columnar NumPy batch tier inside each lane, interpreted or as
+    generated per-program kernels, see :mod:`repro.dataplane.vector`),
+    any other name added through
     :func:`repro.dataplane.engine.register_engine`, or an engine
     instance.
     """
@@ -41,7 +44,8 @@ class CompilerOptions:
     stateful_switches: tuple | None = None
     #: Data-plane execution engine for ``SnapController.network()``: a
     #: registered name (``"sequential"`` | ``"sharded"`` | ``"process"``
-    #: | ``"cluster"`` | ...) or an engine instance.
+    #: | ``"cluster"`` | ``"vector"`` | ``"vector-jit"`` | ...) or an
+    #: engine instance.
     engine: object = "sequential"
     #: How many snapshots ``SnapController.history()`` retains (oldest
     #: evicted first; ``current`` is always kept).  Each snapshot pins

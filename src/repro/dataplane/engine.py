@@ -380,7 +380,8 @@ class ShardedEngine:
         plan = self.plan_for(network)
         batches = _split_batches(plan, arrivals)
         lanes = [
-            (shard_index, _Lane(network, plan.shards[shard_index], batch))
+            (shard_index,
+             self._make_lane(network, plan.shards[shard_index], batch))
             for shard_index, batch in batches
         ]
         workers = self.max_workers or os.cpu_count() or 1
@@ -418,6 +419,15 @@ class ShardedEngine:
     def plan_for(self, network: Network) -> ShardPlan:
         """The network's shard plan (cached, mutation-invalidated)."""
         return plan_for(network)
+
+    def _make_lane(self, network: Network, shard, batch):
+        """The execution lane for one shard's batch.
+
+        Subclasses (the vector engines) override this to swap the
+        per-packet interpreter lane for the columnar tier while reusing
+        the same planning, batching, merge, and failure contract.
+        """
+        return _Lane(network, shard, batch)
 
     def __repr__(self):
         return f"ShardedEngine(max_workers={self.max_workers})"
@@ -651,6 +661,25 @@ register_engine("sharded", ShardedEngine)
 register_engine("process", ProcessPoolEngine, stateful=True)
 # Lazy: resolving the name imports repro.cluster only when first used.
 register_engine("cluster", "repro.cluster.engine:ClusterEngine", stateful=True)
+# Lazy: the vector tier imports numpy only when first used.  Stateless —
+# kernel caches are module-global, keyed by execution-program tokens.
+register_engine("vector", "repro.dataplane.vector:VectorEngine")
+register_engine("vector-jit", "repro.dataplane.vector:VectorJitEngine")
+
+
+def make_lane(kind, network: "Network", shard: "Shard", batch):
+    """A lane of the requested kind (``None``/"scalar", "vector",
+    "vector-jit") — the cluster worker's entry point for lane opt-in.
+    Degrades to the scalar lane when numpy is unavailable."""
+    if kind in (None, "", "scalar"):
+        return _Lane(network, shard, batch)
+    if kind in ("vector", "vector-jit"):
+        try:
+            from repro.dataplane.vector import make_vector_lane
+        except ImportError:  # pragma: no cover - only without numpy
+            return _Lane(network, shard, batch)
+        return make_vector_lane(kind, network, shard, batch)
+    raise DataPlaneError(f"unknown lane kind {kind!r}")
 
 
 # -- the per-shard lane -------------------------------------------------------

@@ -48,6 +48,25 @@ from repro.xfdd.diagram import (
 from repro.xfdd.order import TestOrder
 from repro.xfdd.tests import FieldFieldTest, FieldValueTest, StateVarTest, XTest
 
+#: Adaptive apply-cache opt-out.  The largest Table 3 compositions (the
+#: TCP state machine, flow-size sampling, elephant-flow detection) front-
+#: load their cache hits: once the shared shallow subproblems are done,
+#: the remaining lookups are deep, context-specific, and almost never
+#: recur — observed per-window hit rates collapse to ~1% while the cache
+#: keeps paying ``ctx.cache_key()`` construction and dict hashing on
+#: every call (the TCP state machine composes ~1.6x *slower* with the
+#: cache than without it).  The composer therefore samples its hit rate
+#: over each window of :data:`CACHE_BYPASS_WINDOW` lookups and switches
+#: the cache off for the rest of the session when a window falls below
+#: :data:`CACHE_BYPASS_THRESHOLD`.  Bypassing is semantically invisible
+#: (the cache only memoizes; results are hash-consed by the factory
+#: either way) and the already-populated cache is kept so counters stay
+#: meaningful.  Workloads whose windows keep recurring subproblems —
+#: every other Table 3 app stays in the 0.12–0.17 band per window —
+#: never trip it.
+CACHE_BYPASS_THRESHOLD = 0.11
+CACHE_BYPASS_WINDOW = 1024
+
 
 def _int_const(exprs: tuple):
     """The integer constant an expression tuple denotes, if any."""
@@ -83,7 +102,10 @@ class Composer:
 
     Pass ``use_cache=False`` for a reference engine that recomputes
     everything; the property tests assert both produce the *same interned
-    nodes* when sharing a factory.
+    nodes* when sharing a factory.  A cached composer also watches its own
+    hit rate and opts out mid-session when the workload's subproblems
+    demonstrably never recur (see :data:`CACHE_BYPASS_THRESHOLD`);
+    ``cache_stats()["cache_bypassed"]`` records that it did.
     """
 
     def __init__(
@@ -96,9 +118,11 @@ class Composer:
         self.factory = factory if factory is not None else default_factory()
         self.factory.register_composer(self)
         self.use_cache = use_cache
+        self.cache_bypassed = False
         self._cache: dict = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        self._hits_at_checkpoint = 0
         # Composer-scoped root: contexts memoize their children (see
         # Context.add), so rooting each composition session in a private
         # empty context keeps that memo tree from outliving the composer.
@@ -114,9 +138,33 @@ class Composer:
             "cache_misses": self.cache_misses,
             "cache_entries": len(self._cache),
             "cache_hit_rate": self.cache_hits / total if total else 0.0,
+            "cache_bypassed": self.cache_bypassed,
         }
         stats.update(self.factory.stats())
         return stats
+
+    def _cache_lookup(self, key):
+        """One cached-operation probe: count it, maybe trip the bypass.
+
+        Returns the cached result or ``None``; the caller stores a fresh
+        result under ``key`` on a miss.  Every probe advances exactly one
+        counter, so the window boundary check visits each checkpoint
+        exactly once; after a bypass the cached entry points stop calling
+        this, freezing the counters at their trip-time values.
+        """
+        hit = self._cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        total = self.cache_hits + self.cache_misses
+        if total & (CACHE_BYPASS_WINDOW - 1) == 0:
+            window_hits = self.cache_hits - self._hits_at_checkpoint
+            self._hits_at_checkpoint = self.cache_hits
+            if window_hits < CACHE_BYPASS_WINDOW * CACHE_BYPASS_THRESHOLD:
+                self.use_cache = False
+                self.cache_bypassed = True
+        return hit
 
     def clear_cache(self) -> None:
         self._cache.clear()
@@ -142,14 +190,11 @@ class Composer:
         if not self.use_cache:
             return self._union(d1, d2, ctx)
         key = ("u", id(d1), id(d2), ctx.cache_key())
-        cache = self._cache
-        hit = cache.get(key)
+        hit = self._cache_lookup(key)
         if hit is not None:
-            self.cache_hits += 1
             return hit
-        self.cache_misses += 1
         result = self._union(d1, d2, ctx)
-        cache[key] = result
+        self._cache[key] = result
         return result
 
     def _union(self, d1: XFDD, d2: XFDD, ctx: Context) -> XFDD:
@@ -195,14 +240,11 @@ class Composer:
         if not self.use_cache:
             return self._negate(d)
         key = ("n", id(d))
-        cache = self._cache
-        hit = cache.get(key)
+        hit = self._cache_lookup(key)
         if hit is not None:
-            self.cache_hits += 1
             return hit
-        self.cache_misses += 1
         result = self._negate(d)
-        cache[key] = result
+        self._cache[key] = result
         return result
 
     def _negate(self, d: XFDD) -> XFDD:
@@ -222,14 +264,11 @@ class Composer:
         if not self.use_cache:
             return self._restrict(d, test, positive)
         key = ("r", id(d), test, positive)
-        cache = self._cache
-        hit = cache.get(key)
+        hit = self._cache_lookup(key)
         if hit is not None:
-            self.cache_hits += 1
             return hit
-        self.cache_misses += 1
         result = self._restrict(d, test, positive)
-        cache[key] = result
+        self._cache[key] = result
         return result
 
     def _restrict(self, d: XFDD, test: XTest, positive: bool) -> XFDD:
@@ -258,14 +297,11 @@ class Composer:
         if not self.use_cache:
             return self._sequence(d1, d2, ctx)
         key = ("s", id(d1), id(d2), ctx.cache_key())
-        cache = self._cache
-        hit = cache.get(key)
+        hit = self._cache_lookup(key)
         if hit is not None:
-            self.cache_hits += 1
             return hit
-        self.cache_misses += 1
         result = self._sequence(d1, d2, ctx)
-        cache[key] = result
+        self._cache[key] = result
         return result
 
     def _sequence(self, d1: XFDD, d2: XFDD, ctx: Context) -> XFDD:
@@ -292,14 +328,11 @@ class Composer:
         if not self.use_cache:
             return self._seq_actions_impl(seq, d, ctx)
         key = ("a", seq, id(d), ctx.cache_key())
-        cache = self._cache
-        hit = cache.get(key)
+        hit = self._cache_lookup(key)
         if hit is not None:
-            self.cache_hits += 1
             return hit
-        self.cache_misses += 1
         result = self._seq_actions_impl(seq, d, ctx)
-        cache[key] = result
+        self._cache[key] = result
         return result
 
     def _seq_actions_impl(self, seq: tuple, d: XFDD, ctx: Context) -> XFDD:

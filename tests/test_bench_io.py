@@ -58,13 +58,38 @@ def test_merge_bench_results_concurrent_writers(tmp_path):
     assert list(tmp_path.glob("*.tmp")) == []
 
 
-def test_merge_bench_results_recovers_from_corrupt_file(tmp_path):
+def _conftest():
     sys.path.insert(0, str(REPO / "benchmarks"))
     try:
-        from conftest import merge_bench_results
+        import conftest
     finally:
         sys.path.pop(0)
+    return conftest
+
+
+def test_merge_bench_results_recovers_from_corrupt_file(tmp_path):
+    merge_bench_results = _conftest().merge_bench_results
     target = tmp_path / "BENCH_xfdd.json"
     target.write_text('{"torn": ')  # a pre-atomic-rename casualty
     merge_bench_results("fresh", {"ok": 1}, path=target)
-    assert json.loads(target.read_text()) == {"fresh": {"ok": 1}}
+    merged = json.loads(target.read_text())
+    assert merged["fresh"]["ok"] == 1
+    # Every merged value carries the measurement environment.
+    assert set(merged["fresh"]["env"]) == {"cpus", "python", "numpy"}
+
+
+def test_merge_bench_results_stamps_environment_uniformly(tmp_path):
+    conftest = _conftest()
+    target = tmp_path / "BENCH_xfdd.json"
+    conftest.merge_bench_results("table", {"pps": 5}, path=target)
+    conftest.merge_bench_results("rows", [{"app": "a"}, {"app": "b"}], path=target)
+    merged = json.loads(target.read_text())
+    env = conftest.bench_environment()
+    assert merged["table"]["env"] == env
+    # List-shaped results are wrapped so the stamp has somewhere to live.
+    assert merged["rows"]["env"] == env
+    assert merged["rows"]["rows"] == [{"app": "a"}, {"app": "b"}]
+    assert env["cpus"] >= 1 and env["python"].count(".") == 2
+    # A bench that records its own environment is left alone.
+    conftest.merge_bench_results("own", {"env": {"cpus": -1}}, path=target)
+    assert json.loads(target.read_text())["own"]["env"] == {"cpus": -1}

@@ -318,8 +318,9 @@ class TestPoolLifecycle:
 # Random policies over the campus: optionally per-port sharded counters,
 # optionally a global (unshardable) counter, optionally multicast and
 # partial drops in the egress stage.  Every engine — thread lanes,
-# process-pool lanes, and the 2-daemon cluster — must agree with the
-# sequential baseline field by field, including the final global store.
+# process-pool lanes, the 2-daemon cluster, and both columnar vector
+# tiers — must agree with the sequential baseline field by field,
+# including the final global store.
 
 MULTICAST_EGRESS = ast.If(
     ast.Test("dstport", 99),
@@ -413,6 +414,8 @@ def test_cross_engine_equivalence(case):
         "sharded": snapshot.build_network(),
         "process": snapshot.build_network(),
         "cluster": snapshot.build_network(),
+        "vector": snapshot.build_network(),
+        "vector-jit": snapshot.build_network(),
     }
     try:
         baseline_run = SequentialEngine().run(nets["sequential"], arrivals)
@@ -427,10 +430,14 @@ def test_cross_engine_equivalence(case):
         "sharded": ShardedEngine(max_workers=2).run(nets["sharded"], arrivals),
         "process": ENGINE.run(nets["process"], arrivals),
         "cluster": CLUSTER.run(nets["cluster"], arrivals),
+        "vector": get_engine("vector").run(nets["vector"], arrivals),
+        "vector-jit": get_engine("vector-jit").run(
+            nets["vector-jit"], arrivals
+        ),
     }
     baseline = results["sequential"]
     base_store = nets["sequential"].global_store()
-    for name in ("sharded", "process", "cluster"):
+    for name in ("sharded", "process", "cluster", "vector", "vector-jit"):
         assert len(results[name]) == len(baseline), name
         for a, b in zip(baseline, results[name]):
             assert record_view(a) == record_view(b), name

@@ -80,6 +80,37 @@ class TestCacheEquivalence:
         assert cached.union(dp, dq) is u_ref
         assert cached.sequence(dp, dq) is s_ref
 
+    def test_low_hit_window_trips_bypass(self):
+        """A full window of misses flips the cache off, visibly and stickily."""
+        from repro.xfdd.compose import CACHE_BYPASS_WINDOW
+
+        comp = Composer(_order(), factory=DiagramFactory())
+        assert comp.cache_stats()["cache_bypassed"] is False
+        for i in range(CACHE_BYPASS_WINDOW):
+            comp._cache_lookup(("probe", i))
+        assert comp.use_cache is False
+        assert comp.cache_stats()["cache_bypassed"] is True
+        # Bypassing is invisible: composition still hash-conses to the
+        # same node a reference composer produces.
+        factory = DiagramFactory()
+        bypassed = Composer(_order(), factory=factory)
+        bypassed.use_cache = False
+        bypassed.cache_bypassed = True
+        reference = Composer(_order(), factory=factory, use_cache=False)
+        policy = ast.Seq(ast.Test("fa", 1), ast.Mod("fb", 2))
+        assert to_xfdd(policy, bypassed) is to_xfdd(policy, reference)
+
+    def test_recurring_window_keeps_the_cache(self):
+        """Windows above the threshold leave the cache on."""
+        from repro.xfdd.compose import CACHE_BYPASS_WINDOW
+
+        comp = Composer(_order(), factory=DiagramFactory())
+        comp._cache[("hot",)] = DROP
+        for _ in range(2 * CACHE_BYPASS_WINDOW):
+            comp._cache_lookup(("hot",))
+        assert comp.use_cache is True
+        assert comp.cache_stats()["cache_bypassed"] is False
+
     def test_cache_counters_advance(self):
         factory = DiagramFactory()
         comp = Composer(_order(), factory=factory)
