@@ -1,0 +1,96 @@
+"""Static state-effect analyzer and lint pass over every Table-3 app.
+
+Two claims worth pinning with numbers:
+
+* the analyzer is cheap enough to run on **every** snapshot — the
+  controller attaches an :class:`EffectReport` to each compilation, so
+  its cost rides the P1 budget; per-app wall time should stay in the
+  tens-of-microseconds range (a pure AST walk, no xFDD build);
+* the full lint pass (effect analysis + xFDD build + diagram walks) is
+  a CI-scale cost, not an interactive one — per-app milliseconds.
+
+The summary records per-app analyzer/lint timings plus the finding
+counts the pass produced, so a lint regression also shows up as a
+benchmark diff.
+
+Smoke mode for CI: ``EFFECTS_BENCH_SMOKE=1`` trims rounds.
+"""
+
+import os
+import time
+
+from repro.analysis.effects import analyze_effects
+from repro.analysis.lint import lint_program
+from repro.apps import ALL_APPS
+
+from conftest import merge_bench_results
+from workloads import print_table
+
+SMOKE = os.environ.get("EFFECTS_BENCH_SMOKE") == "1"
+
+ROUNDS = 3 if SMOKE else 20
+
+_ROWS = []
+_SUMMARY = {"smoke": SMOKE, "rounds": ROUNDS, "apps": {}}
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_analyze_and_lint_all_apps(benchmark):
+    def run():
+        out = {}
+        for name, factory in ALL_APPS.items():
+            app = factory()
+            analyze_seconds, report = _best_of(
+                lambda: analyze_effects(app.policy)
+            )
+            lint_seconds, findings = _best_of(
+                lambda: lint_program(app), rounds=max(1, ROUNDS // 4)
+            )
+            out[name] = {
+                "analyze_us": round(analyze_seconds * 1e6, 1),
+                "lint_ms": round(lint_seconds * 1e3, 2),
+                "variables": len(report.variables),
+                "hazards": len(report.hazards),
+                "races": len(report.races),
+                "findings": len(findings),
+                "interleaving_safe": report.interleaving_safe,
+            }
+        return out
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    total_analyze_us = 0.0
+    for name, row in rows.items():
+        total_analyze_us += row["analyze_us"]
+        _ROWS.append((
+            name, f"{row['analyze_us']:.1f}", f"{row['lint_ms']:.2f}",
+            row["variables"], row["findings"],
+            "yes" if row["interleaving_safe"] else "no",
+        ))
+        _SUMMARY["apps"][name] = row
+    _SUMMARY["total_analyze_us"] = round(total_analyze_us, 1)
+    # Every write classified, nothing order-dependent across the table:
+    # the properties the controller relies on when it attaches reports.
+    assert all(row["races"] == 0 for row in rows.values())
+    # Cheap enough for every snapshot: the whole table analyzes in well
+    # under a second even on a loaded CI box.
+    assert total_analyze_us < 1_000_000
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    assert len(_ROWS) == len(ALL_APPS)
+    print_table(
+        "Static effect analysis + lint (per Table-3 app, best-of-N)",
+        ("app", "analyze us", "lint ms", "vars", "findings", "safe"),
+        _ROWS,
+    )
+    merge_bench_results("static_analysis", _SUMMARY)

@@ -18,15 +18,24 @@ from repro.lang import ast
 from repro.milp.results import validate_solution
 
 
-def main():
+def build_program():
     subnets = default_subnets(6)
     detect = dns_tunnel_detect(threshold=3)
-    program = Program(
+    return Program(
         ast.Seq(detect.policy, assign_egress(subnets)),
         assumption=port_assumption(subnets),
         state_defaults=detect.state_defaults,
         name="dns-tunnel+egress",
     )
+
+
+def programs():
+    """Lint hook: ``python -m repro.analysis.lint failure_recovery``."""
+    return [build_program()]
+
+
+def main():
+    program = build_program()
     controller = SnapController(campus_topology(), program)
 
     cold = controller.submit()

@@ -43,6 +43,11 @@ def build_programs(num_ports):
     return unsharded, sharded
 
 
+def programs():
+    """Lint hook: ``python -m repro.analysis.lint isp_scaleout``."""
+    return list(build_programs(6))
+
+
 def main():
     num_ports = 6
     topology = table5_topology("AS1755", num_ports=num_ports, seed=0)

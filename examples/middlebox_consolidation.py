@@ -29,7 +29,7 @@ def ip(text):
     return IPPrefix(text).network
 
 
-def main():
+def build_program():
     subnets = default_subnets(6)
     protected = subnets[6]  # the CS department, as in the paper's intro
     tunnel = dns_tunnel_detect(threshold=3)
@@ -68,7 +68,16 @@ def main():
         state_defaults=defaults,
         name="consolidated-middleboxes",
     )
+    return program, functions
 
+
+def programs():
+    """Lint hook: ``python -m repro.analysis.lint middlebox_consolidation``."""
+    return [build_program()[0]]
+
+
+def main():
+    program, functions = build_program()
     controller = SnapController(campus_topology(), program)
     result = controller.submit()
 

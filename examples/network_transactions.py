@@ -67,6 +67,17 @@ def race(network):
     return store.read("hon-ip", (1,)), store.read("hon-dstport", (1,))
 
 
+def programs():
+    """Lint hook: the racy variant carries the §2.1 transaction hazard
+    (SNAP-W103); the ``atomic()`` variant lints clean."""
+    from repro.core.program import Program
+
+    return [
+        Program(honeypot_policy(atomic=True), name="honeypot-atomic"),
+        Program(honeypot_policy(atomic=False), name="honeypot-racy"),
+    ]
+
+
 def main():
     print("== Without atomic(): variables split across switches ==")
     deps = analyze_dependencies(honeypot_policy(atomic=False))

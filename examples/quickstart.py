@@ -18,17 +18,27 @@ def ip(text):
     return IPPrefix(text).network
 
 
-def main():
-    # 1. Write the OBS program: detection (Figure 1) + routing + the
-    #    operator's assumption about which subnet enters which port (§4.3).
+def build_program():
+    """The OBS program: detection (Figure 1) + routing + the operator's
+    assumption about which subnet enters which port (§4.3)."""
     subnets = default_subnets(6)
     detect = dns_tunnel_detect(subnet="10.0.6.0/24", threshold=3)
-    program = Program(
+    return Program(
         ast.Seq(detect.policy, assign_egress(subnets)),
         assumption=port_assumption(subnets),
         state_defaults=detect.state_defaults,
         name="dns-tunnel-detect;assign-egress",
     )
+
+
+def programs():
+    """Lint hook: ``python -m repro.analysis.lint quickstart``."""
+    return [build_program()]
+
+
+def main():
+    # 1. Write the OBS program.
+    program = build_program()
 
     # 2. Start a controller session and submit the program (cold start).
     topology = campus_topology()

@@ -1,6 +1,17 @@
-"""Program analyses: state dependencies (§4.1) and packet-state mapping (§4.3)."""
+"""Program analyses: state dependencies (§4.1), packet-state mapping
+(§4.3), and the static state-effect / race analysis (``effects``)."""
 
 from repro.analysis.dependency import DependencyInfo, analyze_dependencies, st_dep
+from repro.analysis.effects import (
+    EffectKind,
+    EffectReport,
+    RaceFinding,
+    VariableEffect,
+    WriteSite,
+    analyze_effects,
+    commutative_delta_vars,
+    xfdd_effects,
+)
 from repro.analysis.packet_state import PacketStateMapping, packet_state_mapping
 
 __all__ = [
@@ -9,4 +20,12 @@ __all__ = [
     "st_dep",
     "PacketStateMapping",
     "packet_state_mapping",
+    "EffectKind",
+    "EffectReport",
+    "RaceFinding",
+    "VariableEffect",
+    "WriteSite",
+    "analyze_effects",
+    "commutative_delta_vars",
+    "xfdd_effects",
 ]

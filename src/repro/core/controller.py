@@ -47,6 +47,7 @@ from dataclasses import replace
 from types import MappingProxyType
 
 from repro.analysis.dependency import analyze_dependencies
+from repro.analysis.effects import analyze_effects
 from repro.analysis.packet_state import packet_state_mapping
 from repro.core.options import CompilerOptions
 from repro.core.program import Program
@@ -451,6 +452,12 @@ class SnapController:
             if self._options.validate:
                 validate_solution(routing, topology, mapping, dependencies)
             rules = build_rule_tables(routing)
+        # Every snapshot carries the static effect report (update-kind
+        # classification + race findings) — the merge-safety oracle for
+        # replication/sharding consumers; the AST walk is microseconds,
+        # so re-deriving it on reoptimize paths (which pass stats={}) is
+        # cheaper than threading it through every caller.
+        stats = {**stats, "effects": analyze_effects(program.policy)}
         self._generation += 1
         snapshot = Snapshot(
             generation=self._generation,

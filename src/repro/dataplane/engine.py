@@ -146,7 +146,7 @@ class ShardPlan:
     serializes (every stateful port shares a variable).
     """
 
-    def __init__(self, shards, footprint):
+    def __init__(self, shards, footprint, collapse_reasons=None):
         self.shards = tuple(shards)
         self.footprint = dict(footprint)
         self.shard_of = {
@@ -154,6 +154,9 @@ class ShardPlan:
             for index, shard in enumerate(self.shards)
             for port in shard.ports
         }
+        #: ``{var: reason}`` for every variable that merged two or more
+        #: ingress ports into one lane (see :func:`collapse_reasons`).
+        self.collapse_reasons = dict(collapse_reasons or {})
 
     @property
     def parallelism(self) -> int:
@@ -165,6 +168,7 @@ class ShardPlan:
             "shards": len(self.shards),
             "ports_per_shard": [len(s.ports) for s in self.shards],
             "sharded_vars": sum(len(s.variables) for s in self.shards),
+            "collapse_reasons": dict(self.collapse_reasons),
         }
 
     def __repr__(self):
@@ -213,15 +217,63 @@ def group_ports_by_footprint(footprint: dict, ports) -> list:
     ]
 
 
+def collapse_reasons(footprint: dict, shards, root) -> dict:
+    """Why multi-port shards collapsed: ``{var: human-readable reason}``.
+
+    A variable reachable from two or more ingress ports forces those
+    ports onto one serialized owner lane.  Each reason names the ports,
+    the variable's effect kind (from the compiled diagram), and — when
+    the kind is replica-mergeable — that state-compute replication could
+    lift the collapse (ROADMAP, arXiv:2309.14647).
+    """
+    from repro.analysis.effects import xfdd_effects
+
+    var_ports: dict = {}
+    for port, variables in footprint.items():
+        for var in variables:
+            var_ports.setdefault(var, []).append(port)
+    kinds = xfdd_effects(root) if root is not None else {}
+    reasons: dict = {}
+    for shard in shards:
+        if len(shard.ports) <= 1:
+            continue
+        for var in sorted(shard.variables):
+            ports = sorted(var_ports.get(var, ()))
+            if len(ports) <= 1:
+                continue
+            kind = kinds.get(var)
+            kind_name = kind.value if kind is not None else "READ_ONLY"
+            if kind is not None and kind.mergeable:
+                remedy = (
+                    f"its {kind_name} updates are replica-mergeable, so "
+                    "state-compute replication could run these ports in "
+                    "parallel"
+                )
+            else:
+                remedy = (
+                    f"its {kind_name} updates do not commute, so the "
+                    "ports must serialize on the owner lane"
+                )
+            reasons[var] = (
+                f"SNAP-W104: state variable '{var}' is reachable from "
+                f"ingress ports {ports}, collapsing them into one lane; "
+                f"{remedy}"
+            )
+    return reasons
+
+
 def plan_shards(network: Network) -> ShardPlan:
     """Partition the network's ingress ports into disjoint-state shards."""
     ports = sorted(network.topology.ports)
-    footprint = ingress_state_footprint(network.index.root, ports)
+    root = network.index.root
+    footprint = ingress_state_footprint(root, ports)
     shards = [
         Shard(members, variables)
         for members, variables in group_ports_by_footprint(footprint, ports)
     ]
-    return ShardPlan(shards, footprint)
+    return ShardPlan(
+        shards, footprint, collapse_reasons(footprint, shards, root)
+    )
 
 
 # -- shard-plan caching -------------------------------------------------------
@@ -342,9 +394,17 @@ def _merge_lane_outcomes(network: Network, lane_results, total: int,
 
 def _raise_lane_failure(plan: ShardPlan, shard_index: int, exc: Exception):
     shard = plan.shards[shard_index]
+    detail = ""
+    reasons = [
+        plan.collapse_reasons[var]
+        for var in sorted(shard.variables)
+        if var in plan.collapse_reasons
+    ]
+    if reasons:
+        detail = " [lane collapse: " + "; ".join(reasons) + "]"
     raise DataPlaneError(
         f"execution lane for shard {shard_index} "
-        f"(ports {list(shard.ports)}) failed: {exc}"
+        f"(ports {list(shard.ports)}) failed: {exc}{detail}"
     ) from exc
 
 
@@ -374,11 +434,20 @@ class ShardedEngine:
 
     def __init__(self, max_workers: int | None = None):
         self.max_workers = max_workers
+        #: What the previous :meth:`run` planned: lane count and the
+        #: per-variable owner-lane collapse reasons — the bench-level
+        #: explanation for parallelism flatlines.
+        self.last_run_stats: dict = {}
 
     def run(self, network: Network, arrivals) -> list:
         arrivals = list(arrivals)
         plan = self.plan_for(network)
         batches = _split_batches(plan, arrivals)
+        self.last_run_stats = {
+            "lanes": len(batches),
+            "parallelism": plan.parallelism,
+            "collapse_reasons": dict(plan.collapse_reasons),
+        }
         lanes = [
             (shard_index,
              self._make_lane(network, plan.shards[shard_index], batch))
@@ -487,6 +556,7 @@ class ProcessPoolEngine:
             # completed worker merge).
             self.last_run_stats = {
                 "lanes": len(batches), "state_bytes": 0, "spec_bytes": 0,
+                "collapse_reasons": dict(plan.collapse_reasons),
             }
             return ShardedEngine(max_workers=1).run(network, arrivals)
         refresh_exec_keys(network)
@@ -532,6 +602,7 @@ class ProcessPoolEngine:
             "state_bytes": state_bytes,
             # A worker cannot be targeted, so every task carries the spec.
             "spec_bytes": len(spec_bytes) * len(batches),
+            "collapse_reasons": dict(plan.collapse_reasons),
         }
         outcomes: list = []
         failure = None

@@ -29,7 +29,13 @@ vectorize: rows whose resolved entry can reach one fall back to the
 scalar :class:`repro.dataplane.engine._Lane`, and if the fallback rows'
 state footprint overlaps the vectorized rows' the whole batch runs
 scalar (deferred deltas may not be reordered around scalar state
-reads).  Either way the engine is byte-identical to
+reads).  One exception, opt-in via ``VectorEngine(commute_fastpath=
+True)`` or ``SNAP_VECTOR_COMMUTE=1``: when the static effect analysis
+(:mod:`repro.analysis.effects`) proves every overlapping variable is
+written only by ``++``/``--`` and never state-tested anywhere in the
+diagram (and holds integers), the deltas commute with anything the
+scalar rows do, so the vector groups stay vectorized.  Either way the
+engine is byte-identical to
 :class:`~repro.dataplane.engine.SequentialEngine` — same records, same
 link counters, same state stores — which the cross-engine property
 tests assert.
@@ -56,6 +62,7 @@ lane, and constructing an engine raises a clear error.
 
 from __future__ import annotations
 
+import os
 import threading
 
 try:  # optional dependency — see module docstring
@@ -407,6 +414,33 @@ def _touched_vars(network, program: SwitchProgram, entry: int) -> frozenset:
     return result
 
 
+def _commutable_vars(network) -> frozenset:
+    """Variables whose deltas commute with *everything* else in the
+    program: per the effect analysis they are written only through
+    ``++``/``--`` (never assigned) and never state-tested anywhere in
+    the diagram, and their defaults are integers (or unset), so integer
+    increments stay exact under any application order.  Cached per
+    compiled diagram (root identity), like the shard-plan cache."""
+    index = network.index
+    root = index.root if index is not None else None
+    cached = getattr(network, "_vector_commute_memo", None)
+    if cached is not None and cached[0] is root:
+        return cached[1]
+    if root is None:
+        result = frozenset()
+    else:
+        from repro.analysis.effects import commutative_delta_vars
+
+        defaults = getattr(network, "state_defaults", {})
+        result = frozenset(
+            var
+            for var in commutative_delta_vars(root)
+            if defaults.get(var) is None or isinstance(defaults[var], int)
+        )
+    network._vector_commute_memo = (root, result)
+    return result
+
+
 # -- one vector group's batch state -------------------------------------------
 
 
@@ -668,13 +702,17 @@ class VectorLane:
     the records, ordering, and counters the sequential engine produces.
     """
 
-    __slots__ = ("network", "shard", "batch", "jit", "_scalar", "_counter")
+    __slots__ = ("network", "shard", "batch", "jit", "commute", "_scalar",
+                 "_counter")
 
-    def __init__(self, network, shard: Shard, batch, jit: bool = False):
+    def __init__(self, network, shard: Shard, batch, jit: bool = False,
+                 commute: bool = False):
         self.network = network
         self.shard = shard
         self.batch = batch
         self.jit = jit
+        #: opt-in commutative-overlap fast path (see :meth:`run`)
+        self.commute = commute
         self._scalar = _Lane(network, shard, [])
         self._counter = 0
 
@@ -738,9 +776,16 @@ class VectorLane:
                     for key in fallback_keys
                 )
             )
-            if vector_vars & fallback_vars:
+            overlap = vector_vars & fallback_vars
+            if overlap and not (
+                self.commute and overlap <= _commutable_vars(net)
+            ):
                 # Deferred deltas cannot be reordered around scalar rows
-                # that share state: the whole batch runs scalar.
+                # that share state: the whole batch runs scalar.  The
+                # opt-in fast path keeps the vector groups when the
+                # effect analysis proves every overlapping variable is
+                # increment-only and never read — then the deltas
+                # commute with anything the scalar rows can do.
                 self._scalar.batch = self.batch
                 return self._scalar.run()
 
@@ -977,16 +1022,27 @@ class VectorEngine(ShardedEngine):
     name = "vector"
     jit = False
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None,
+                 commute_fastpath: bool | None = None):
         if np is None:
             raise DataPlaneError(
                 "the vector engines require numpy, which is not installed; "
                 "use engine='sharded' (or install numpy)"
             )
         super().__init__(max_workers)
+        # Opt-in: keep vector groups when every variable shared with the
+        # scalar fallback is proven increment-only and never tested (see
+        # VectorLane.run).  Default stays the conservative whole-batch
+        # demotion; SNAP_VECTOR_COMMUTE=1 flips the default.
+        if commute_fastpath is None:
+            commute_fastpath = os.environ.get("SNAP_VECTOR_COMMUTE") == "1"
+        self.commute_fastpath = commute_fastpath
 
     def _make_lane(self, network, shard: Shard, batch):
-        return VectorLane(network, shard, batch, jit=self.jit)
+        return VectorLane(
+            network, shard, batch, jit=self.jit,
+            commute=self.commute_fastpath,
+        )
 
     def __repr__(self):
         return f"{type(self).__name__}(max_workers={self.max_workers})"

@@ -286,6 +286,122 @@ class TestScalarFallback:
             assert net.global_store() == net_scalar.global_store()
 
 
+class TestCommutativeFastPath:
+    """The opt-in commutative fast path (``commute_fastpath=True`` /
+    ``SNAP_VECTOR_COMMUTE=1``) keeps vector groups columnar when the
+    only state they share with fallback rows is increment-only and
+    never tested — exactly the footprint the effect analyzer proves
+    order-independent."""
+
+    @staticmethod
+    def _commuting_program():
+        """Port 1 increments ``count`` (vectorizable); ports 2/3 also
+        increment ``count`` but additionally assign ``log`` from a
+        packet field (STWRITE -> scalar fallback).  ``count`` is
+        delta-only and never tested, so deferring its vector deltas
+        past the scalar rows cannot change any observable."""
+        subnets = default_subnets(3)
+        policy = ast.Seq(
+            ast.If(
+                ast.Test("inport", 1),
+                ast.StateIncr("count", ast.Value(0)),
+                ast.Seq(
+                    ast.StateIncr("count", ast.Value(0)),
+                    ast.StateMod("log", ast.Value(0), ast.Field("srcport")),
+                ),
+            ),
+            assign_egress(subnets),
+        )
+        program = Program(
+            policy, assumption=port_assumption(subnets),
+            state_defaults={"count": 0, "log": 0}, name="commute-tiny",
+        )
+        return SnapController(tiny_topology(), program).submit()
+
+    def _trace(self):
+        return [
+            (packet, 1 + (i % 2))
+            for i, (packet, _) in enumerate(tiny_trace(count=80))
+        ]
+
+    def test_default_engine_still_demotes(self):
+        """Pins the conservative over-demotion: without the flag the
+        shared ``count`` forces the whole batch scalar even though its
+        updates commute."""
+        snapshot = self._commuting_program()
+        trace = self._trace()
+        for engine in ENGINES:
+            before = kernel_cache_stats()
+            engine.run(snapshot.build_network(), list(trace))
+            assert stats_delta(before, "kernel_calls") == 0
+
+    @pytest.mark.parametrize("jit", [False, True], ids=["vector", "vector-jit"])
+    def test_fastpath_vectorizes_and_matches_sequential(self, jit):
+        snapshot = self._commuting_program()
+        trace = self._trace()
+        net_seq = snapshot.build_network()
+        seq = SequentialEngine().run(net_seq, list(trace))
+        engine = (
+            VectorJitEngine(max_workers=2, commute_fastpath=True)
+            if jit
+            else VectorEngine(max_workers=2, commute_fastpath=True)
+        )
+        before = kernel_cache_stats()
+        net = snapshot.build_network()
+        out = engine.run(net, list(trace))
+        assert stats_delta(before, "kernel_calls") > 0  # stayed columnar
+        assert len(out) == len(seq)
+        for a, b in zip(seq, out):
+            assert record_view(a) == record_view(b)
+        assert net.global_store() == net_seq.global_store()
+        assert net.link_packets == net_seq.link_packets
+
+    def test_env_var_enables_fastpath(self, monkeypatch):
+        monkeypatch.setenv("SNAP_VECTOR_COMMUTE", "1")
+        assert VectorEngine(max_workers=1).commute_fastpath is True
+        monkeypatch.delenv("SNAP_VECTOR_COMMUTE")
+        assert VectorEngine(max_workers=1).commute_fastpath is False
+
+    def test_tested_overlap_still_demotes_under_flag(self):
+        """A shared var that a fallback row *tests* is excluded from the
+        commutable set — the flag must not unlock it."""
+        subnets = default_subnets(3)
+        policy = ast.Seq(
+            ast.If(
+                ast.Test("inport", 1),
+                ast.StateIncr("v", ast.Value(0)),
+                ast.Id(),
+            ),
+            ast.Seq(
+                ast.If(
+                    ast.And(
+                        ast.Test("inport", 2),
+                        ast.StateTest("v", (ast.Value(0),), ast.Value(3)),
+                    ),
+                    ast.Drop(),
+                    ast.Id(),
+                ),
+                assign_egress(subnets),
+            ),
+        )
+        program = Program(
+            policy, assumption=port_assumption(subnets),
+            state_defaults={"v": 0}, name="tested-tiny",
+        )
+        snapshot = SnapController(tiny_topology(), program).submit()
+        trace = self._trace()
+        net_seq = snapshot.build_network()
+        seq = SequentialEngine().run(net_seq, list(trace))
+        engine = VectorEngine(max_workers=2, commute_fastpath=True)
+        before = kernel_cache_stats()
+        net = snapshot.build_network()
+        out = engine.run(net, list(trace))
+        assert stats_delta(before, "kernel_calls") == 0  # demoted anyway
+        for a, b in zip(seq, out):
+            assert record_view(a) == record_view(b)
+        assert net.global_store() == net_seq.global_store()
+
+
 # -- kernel cache across the session lifecycle --------------------------------
 
 
