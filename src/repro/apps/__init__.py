@@ -22,6 +22,7 @@ from repro.apps.fast import (
     connection_affinity,
     flow_size_detect,
     ftp_monitoring,
+    global_heavy_hitter,
     heavy_hitter_block,
     heavy_hitter_detect,
     sample_large,
@@ -35,7 +36,9 @@ from repro.apps.fast import (
 from repro.apps.other import snort_flowbits, tcp_state_machine
 from repro.apps.routing import assign_egress, default_subnets, port_assumption
 
-#: Table 3, in paper order.  20 applications.
+#: Table 3, in paper order, plus the deliberately-unshardable
+#: ``global-heavy-hitter`` (the state-compute-replication worst case).
+#: 21 applications.
 ALL_APPS = {
     # Chimera [5]
     "many-ip-domains": many_ip_domains,
@@ -61,6 +64,9 @@ ALL_APPS = {
     "tcp-state-machine": tcp_state_machine,
     "snort-flowbits": snort_flowbits,
     "flow-size-detect": flow_size_detect,
+    # Not in Table 3: the one-global-counter worst case every ingress
+    # updates — flatlines §7.3 sharding, scales under replication.
+    "global-heavy-hitter": global_heavy_hitter,
 }
 
 __all__ = [
@@ -71,7 +77,7 @@ __all__ = [
     "dns_ttl_change", "dns_tunnel_detect", "many_domain_ips",
     "many_ip_domains", "sidejack_detect", "spam_detect",
     "connection_affinity", "flow_size_detect", "ftp_monitoring",
-    "heavy_hitter_block", "heavy_hitter_detect",
+    "global_heavy_hitter", "heavy_hitter_block", "heavy_hitter_detect",
     "sample_large", "sample_medium", "sample_small",
     "sampling_by_flow_size", "selective_packet_dropping",
     "stateful_firewall", "super_spreader_detect",

@@ -52,6 +52,25 @@ def heavy_hitter_detect(threshold: int = 100) -> Program:
     )
 
 
+def global_heavy_hitter(subnet: str = "10.0.6.0/24") -> Program:
+    """A deliberately *unshardable* heavy-hitter: one network-wide
+    per-source packet counter that every ingress port updates.
+
+    The §7.3 shard planner collapses all of ``global-hh``'s ingress
+    ports into a single owner lane (SNAP-W104), so this is the
+    worst-case shape for lane parallelism — and the canonical target
+    for state-compute replication (:mod:`repro.dataplane.replication`):
+    the counter is increment-only and never state-tested, so per-lane
+    replicas merge byte-identically.  The ``dstip`` guard keeps the
+    single-variable placement feasible on the campus topology (an
+    unguarded network-wide write has no valid egress assignment).
+    """
+    source = """
+    if dstip = {subnet} then global-hh[srcip]++ else id
+    """.replace("{subnet}", subnet)
+    return Program.from_source(source, name="global-heavy-hitter")
+
+
 def heavy_hitter_block(threshold: int = 100) -> Program:
     """§F: detection composed with blocking —
     ``heavy-hitter-detection; (heavy-hitter[srcip] = False)``."""

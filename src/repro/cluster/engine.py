@@ -39,6 +39,7 @@ import pickle
 from repro.cluster import protocol as wire
 from repro.cluster.coordinator import ClusterCoordinator, Job
 from repro.cluster.protocol import ClusterError
+from repro.dataplane import replication
 from repro.dataplane.engine import (
     ShardedEngine,
     _merge_lane_outcomes,
@@ -80,7 +81,8 @@ class ClusterEngine:
 
     name = "cluster"
 
-    def __init__(self, workers: int = 2, addresses=(), lane=None):
+    def __init__(self, workers: int = 2, addresses=(), lane=None,
+                 replicate_state: bool | None = None):
         if lane not in (None, "scalar", "vector", "vector-jit"):
             raise ClusterError(f"unknown lane kind {lane!r}")
         self.workers = workers
@@ -89,6 +91,10 @@ class ClusterEngine:
         #: to run its shard on the columnar tier (a worker without numpy
         #: silently runs the scalar lane — semantics are identical).
         self.lane = lane
+        #: State-compute replication: ``None`` defers to the network's
+        #: ``replicate_state``; a boolean overrides it for this engine.
+        #: Replica specs and update logs ride the v2 wire protocol.
+        self.replicate_state = replicate_state
         self._coordinator: ClusterCoordinator | None = None
         self._program_cache: tuple | None = None  # (program_key, bytes)
         self._network_cache: tuple | None = None  # (network_key, bytes)
@@ -98,7 +104,8 @@ class ClusterEngine:
 
     def run(self, network: Network, arrivals) -> list:
         arrivals = list(arrivals)
-        plan = self.plan_for(network)
+        rplan = self.replica_plan(network)
+        plan = rplan.plan
         batches = _split_batches(plan, arrivals)
         if len(batches) <= 1:
             # Zero or one lane: the wire buys no parallelism — run
@@ -159,15 +166,28 @@ class ClusterEngine:
             handle.networks.add(network_key)
             coordinator.add_stat("network_bytes", len(network_bytes))
 
+        replicate = bool(rplan.replicated)
+        epoch = replication.next_epoch(network) if replicate else 0
         jobs = []
         for shard_index, batch in batches:
             shard = plan.shards[shard_index]
             variables = batch_footprint(plan, batch)
+            lane_vars = replication.lane_replicas(rplan, batch) \
+                if replicate else {}
             payload = {
                 "network_key": network_key,
                 "ports": tuple(shard.ports),
                 "variables": tuple(sorted(variables)),
-                "state": network.extract_shard_state(variables),
+                # Replica seeds ride in the same state slice; the worker
+                # diffs its post-run replica against them and sends back
+                # the update log instead of the raw tables.
+                "state": network.extract_shard_state(
+                    set(variables) | set(lane_vars)
+                ),
+                "replica": (
+                    replication.wire_spec(lane_vars, epoch)
+                    if lane_vars else None
+                ),
                 "batch": batch,
                 "lane": self.lane,
             }
@@ -175,9 +195,19 @@ class ClusterEngine:
         results, errors = coordinator.run_jobs(jobs, ensure=ensure)
 
         outcomes = []
+        log_entries = 0
         for shard_index in sorted(results):
             payload = results[shard_index]
             network.merge_shard_state(payload["state"])
+            log = payload.get("replica_log")
+            if log is not None:
+                # A requeued duplicate of an *earlier run's* lane would
+                # carry a stale epoch and be refused here; within one
+                # run the coordinator keeps a single result per shard.
+                replication.apply_replica_log(
+                    network, rplan.replicated, log, epoch
+                )
+                log_entries += replication.log_entries(log)
             outcomes.append((payload["records"], payload["links"]))
         merged = _merge_lane_outcomes(
             network, outcomes, len(arrivals), complete=not errors
@@ -193,6 +223,8 @@ class ClusterEngine:
             "network_bytes": delta["network_bytes"],
             "payload_bytes": delta["payload_bytes"],
             "requeues": delta["requeues"],
+            "replicated_vars": sorted(rplan.replicated),
+            "replica_log_entries": log_entries,
         }
         if errors:
             if not coordinator.alive_workers():
@@ -215,14 +247,23 @@ class ClusterEngine:
                 cls = VectorJitEngine if self.lane == "vector-jit" else (
                     VectorEngine
                 )
-                return cls(max_workers=1)
+                return cls(
+                    max_workers=1, replicate_state=self.replicate_state
+                )
             except Exception:  # numpy missing: scalar, same semantics
                 pass
-        return ShardedEngine(max_workers=1)
+        return ShardedEngine(
+            max_workers=1, replicate_state=self.replicate_state
+        )
 
     def plan_for(self, network: Network):
         """The network's shard plan (cached, mutation-invalidated)."""
         return plan_for(network)
+
+    def replica_plan(self, network: Network):
+        """The network's replica plan (cached; see
+        :func:`repro.dataplane.replication.replica_plan_for`)."""
+        return replication.replica_plan_for(network, self.replicate_state)
 
     # -- spec and lifecycle ------------------------------------------------
 

@@ -42,8 +42,14 @@ Message vocabulary (``payload`` keys in parentheses):
                    ``missing="program"`` if the referenced program spec is
                    not cached worker-side
 :data:`RUN_SHARD`  execute one shard batch (``network_key``, ``ports``,
-                   ``variables``, ``state``, ``batch``) → :data:`RESULT`
-                   (``records``, ``links``, ``state``) or :data:`ERROR`
+                   ``variables``, ``state``, ``batch``, and — since v2 —
+                   an optional ``replica`` spec naming the state-compute
+                   replicated variables, their merge kinds, and the
+                   parent's merge epoch; replica seeds ride in ``state``)
+                   → :data:`RESULT` (``records``, ``links``, ``state``,
+                   and ``replica_log``: the per-variable update log
+                   diffed against the shipped seed, ``None`` when no
+                   replica spec was sent) or :data:`ERROR`
                    (``missing="network"`` if the spec was evicted)
 :data:`RUN_OBS`    evaluate one OBS mirror batch (``blob``) →
                    :data:`RESULT` (``state``, ``outputs``)
@@ -60,7 +66,9 @@ import struct
 from repro.lang.errors import DataPlaneError
 
 #: Protocol version — bump on any frame or message change.
-PROTOCOL_VERSION = 1
+#: v2: RUN_SHARD carries an optional state-compute ``replica`` spec and
+#: RESULT returns the matching ``replica_log`` (see the table above).
+PROTOCOL_VERSION = 2
 
 #: Frame magic ("SNAP cluster wire").
 FRAME_MAGIC = b"SNCW"

@@ -205,9 +205,11 @@ class WorkerDaemon:
                 return
             self._active += 1
             try:
+                from repro.dataplane import replication
                 from repro.dataplane.engine import Shard, make_lane
 
-                network.install_shard_state(payload["state"])
+                seed = payload["state"]
+                network.install_shard_state(seed)
                 lane = make_lane(
                     payload.get("lane"),
                     network,
@@ -219,6 +221,19 @@ class WorkerDaemon:
                 )
                 records, links = lane.run()
                 state = network.extract_shard_state(payload["variables"])
+                replica_log = None
+                replica_spec = payload.get("replica")
+                if replica_spec is not None:
+                    # Diff the post-run replica against the shipped seed
+                    # (install copies tables, so the seed is pristine)
+                    # and return the compact update log instead of the
+                    # raw replica tables.
+                    lane_vars = replication.replicas_from_spec(replica_spec)
+                    replica_log = replication.replica_log(
+                        lane_vars, seed,
+                        replication.extract_state(network, lane_vars),
+                        replica_spec["epoch"],
+                    )
             except Exception as exc:
                 wire.send_message(conn, wire.ERROR, {
                     "message": f"{type(exc).__name__}: {exc}",
@@ -227,6 +242,7 @@ class WorkerDaemon:
             else:
                 wire.send_message(conn, wire.RESULT, {
                     "records": records, "links": links, "state": state,
+                    "replica_log": replica_log,
                 })
             finally:
                 self._active -= 1

@@ -285,6 +285,7 @@ class SnapController:
         if self._network is None:
             self._network = self._current.build_network()
             self._network.default_engine = self._session_engine()
+            self._network.replicate_state = self._options.replicate_state
         return self._network
 
     def close(self) -> None:
@@ -513,6 +514,7 @@ class SnapController:
             )
         fresh = snapshot.build_network()
         fresh.default_engine = live.default_engine
+        fresh.replicate_state = getattr(live, "replicate_state", True)
         if snapshot.event != "cold_start":
             fresh.adopt_state(live)
         if (

@@ -47,6 +47,14 @@ class CompilerOptions:
     #: | ``"cluster"`` | ``"vector"`` | ``"vector-jit"`` | ...) or an
     #: engine instance.
     engine: object = "sequential"
+    #: Whether parallel engines may lift collapse-causing mergeable
+    #: state variables onto per-lane replicas with deterministic merge
+    #: (:mod:`repro.dataplane.replication`).  On by default: replication
+    #: only ever applies where the effect analyzer proves the merged
+    #: stores byte-identical to sequential execution; set ``False`` to
+    #: force every unshardable variable back onto its serialized owner
+    #: lane.
+    replicate_state: bool = True
     #: How many snapshots ``SnapController.history()`` retains (oldest
     #: evicted first; ``current`` is always kept).  Each snapshot pins
     #: its xFDD and hash-consing factory, so an unbounded history would

@@ -86,6 +86,7 @@ from repro.dataplane.header import (
     SNAP_NODE,
     SNAP_OUTPORT,
 )
+from repro.dataplane import replication
 from repro.dataplane.netasm import revive_programs
 from repro.dataplane.network import (
     _EXEC_KEYS,
@@ -303,15 +304,37 @@ def _same_key(a: tuple, b: tuple) -> bool:
     return a[0] is b[0] and a[1] == b[1]
 
 
+#: Module-level plan reuse across TE rewires.  ``rewire`` builds a fresh
+#: Network object (empty per-object cache) sharing the parent's program
+#: token and xFDD; keying a second cache level on that token lets the
+#: rewired network's first run revalidate the existing plan against the
+#: root-identity/port fingerprint and reuse it instead of re-deriving
+#: the footprints from scratch.  Bounded: a long-lived controller sees a
+#: new token per policy rebuild.
+_SHARD_PLANS: dict = {}
+_SHARD_PLAN_LIMIT = 16
+
+
 def plan_for(network: Network) -> ShardPlan:
-    """The network's shard plan, cached on the network and keyed by
-    :func:`_plan_cache_key` so topology/xFDD mutation invalidates it."""
+    """The network's shard plan, cached on the network *and* on its
+    program token, keyed by :func:`_plan_cache_key` so topology/xFDD
+    mutation invalidates it while TE rewires reuse it."""
     key = _plan_cache_key(network)
     cached = getattr(network, "_shard_plan", None)
     if cached is not None and _same_key(cached[0], key):
         return cached[1]
+    token = getattr(network, "_exec_program_key", None)
+    entry = _SHARD_PLANS.get(token)
+    if entry is not None and _same_key(entry[0], key):
+        network._shard_plan = entry
+        return entry[1]
     plan = plan_shards(network)
-    network._shard_plan = (key, plan)
+    entry = (key, plan)
+    network._shard_plan = entry
+    if token is not None:
+        _SHARD_PLANS[token] = entry
+        while len(_SHARD_PLANS) > _SHARD_PLAN_LIMIT:
+            _SHARD_PLANS.pop(next(iter(_SHARD_PLANS)))
     return plan
 
 
@@ -428,56 +451,110 @@ class ShardedEngine:
     (``os.cpu_count()``); lanes never exceed the plan's parallelism.
     With one worker (or one shard) the lanes run inline on the calling
     thread — same code path, no pool.
+
+    ``replicate_state`` controls state-compute replication
+    (:mod:`repro.dataplane.replication`): ``None`` defers to the
+    network's ``replicate_state`` attribute (set by the controller from
+    ``CompilerOptions``), a boolean overrides it for this engine.  When
+    on, collapse-causing mergeable variables run on per-lane replicas
+    and the parent merges their update logs deterministically after
+    every lane has stopped; lanes whose batch cannot touch a replicated
+    variable run in place on the parent store exactly as before.
     """
 
     name = "sharded"
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None,
+                 replicate_state: bool | None = None):
         self.max_workers = max_workers
-        #: What the previous :meth:`run` planned: lane count and the
-        #: per-variable owner-lane collapse reasons — the bench-level
-        #: explanation for parallelism flatlines.
+        self.replicate_state = replicate_state
+        #: What the previous :meth:`run` planned: lane count, the
+        #: per-variable owner-lane collapse reasons (the bench-level
+        #: explanation for parallelism flatlines), and — when replication
+        #: ran — the replicated variables and their log sizes.
         self.last_run_stats: dict = {}
 
     def run(self, network: Network, arrivals) -> list:
         arrivals = list(arrivals)
-        plan = self.plan_for(network)
+        rplan = self.replica_plan(network)
+        plan = rplan.plan
         batches = _split_batches(plan, arrivals)
-        self.last_run_stats = {
+        stats = {
             "lanes": len(batches),
             "parallelism": plan.parallelism,
             "collapse_reasons": dict(plan.collapse_reasons),
+            "replicated_vars": sorted(rplan.replicated),
+            "replica_reasons": dict(rplan.replica_reasons),
         }
-        lanes = [
-            (shard_index,
-             self._make_lane(network, plan.shards[shard_index], batch))
-            for shard_index, batch in batches
-        ]
+        self.last_run_stats = stats
+        replicate = bool(rplan.replicated)
+        epoch = replication.next_epoch(network) if replicate else 0
+        lanes = []
+        for shard_index, batch in batches:
+            lane_vars = replication.lane_replicas(rplan, batch) \
+                if replicate else {}
+            if lane_vars:
+                runner = replication.replica_runner(
+                    network, rplan, shard_index, batch, lane_vars, epoch,
+                    self._make_lane,
+                )
+            else:
+                lane = self._make_lane(
+                    network, plan.shards[shard_index], batch
+                )
+                runner = lane.run
+            lanes.append((shard_index, runner))
         workers = self.max_workers or os.cpu_count() or 1
         workers = min(workers, len(lanes))
         outcomes: list = []
+        merges: list = []
         failure = None
         if workers > 1:
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 futures = [
-                    (shard_index, pool.submit(lane.run))
-                    for shard_index, lane in lanes
+                    (shard_index, pool.submit(runner))
+                    for shard_index, runner in lanes
                 ]
                 for shard_index, future in futures:
                     try:
-                        outcomes.append(future.result())
+                        result = future.result()
                     except Exception as exc:
                         if failure is None:
                             failure = (shard_index, exc)
+                        continue
+                    outcomes.append(result[:2])
+                    if len(result) > 2:
+                        merges.append(result[2:])
         else:
             # Inline: lanes run serially in shard order; a failure stops
             # the later lanes from ever starting.
-            for shard_index, lane in lanes:
+            for shard_index, runner in lanes:
                 try:
-                    outcomes.append(lane.run())
+                    result = runner()
                 except Exception as exc:
                     failure = (shard_index, exc)
                     break
+                outcomes.append(result[:2])
+                if len(result) > 2:
+                    merges.append(result[2:])
+        # Replica merges are deferred until every lane has stopped:
+        # lanes seed from the parent snapshot, so merging mid-run would
+        # double-count.  Completed lanes merge even when another lane
+        # failed — the lane failure contract — and the per-kind merges
+        # commute, so the merge order cannot matter.
+        if merges:
+            log_entries = log_bytes = 0
+            for state, log in merges:
+                replication.merge_state(network, state)
+                replication.apply_replica_log(
+                    network, rplan.replicated, log, epoch
+                )
+                log_entries += replication.log_entries(log)
+                log_bytes += len(
+                    pickle.dumps(log, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+            stats["replica_log_entries"] = log_entries
+            stats["replica_log_bytes"] = log_bytes
         results = _merge_lane_outcomes(
             network, outcomes, len(arrivals), complete=failure is None
         )
@@ -488,6 +565,11 @@ class ShardedEngine:
     def plan_for(self, network: Network) -> ShardPlan:
         """The network's shard plan (cached, mutation-invalidated)."""
         return plan_for(network)
+
+    def replica_plan(self, network: Network):
+        """The network's replica plan (cached; see
+        :func:`repro.dataplane.replication.replica_plan_for`)."""
+        return replication.replica_plan_for(network, self.replicate_state)
 
     def _make_lane(self, network: Network, shard, batch):
         """The execution lane for one shard's batch.
@@ -536,17 +618,21 @@ class ProcessPoolEngine:
 
     name = "process"
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None,
+                 replicate_state: bool | None = None):
         self.max_workers = max_workers
+        self.replicate_state = replicate_state
         self._pool = None
         self._spec_cache: tuple | None = None  # (network_key, bytes)
         #: What the previous run shipped: ``{"lanes", "state_bytes",
-        #: "spec_bytes"}`` (zeros for inline fallbacks).
+        #: "spec_bytes"}`` (zeros for inline fallbacks), plus the
+        #: replicated variables and their log sizes when replication ran.
         self.last_run_stats: dict = {}
 
     def run(self, network: Network, arrivals) -> list:
         arrivals = list(arrivals)
-        plan = self.plan_for(network)
+        rplan = self.replica_plan(network)
+        plan = rplan.plan
         batches = _split_batches(plan, arrivals)
         workers = self.max_workers or os.cpu_count() or 1
         if workers <= 1 or len(batches) <= 1:
@@ -557,24 +643,40 @@ class ProcessPoolEngine:
             self.last_run_stats = {
                 "lanes": len(batches), "state_bytes": 0, "spec_bytes": 0,
                 "collapse_reasons": dict(plan.collapse_reasons),
+                "replicated_vars": sorted(rplan.replicated),
+                "replica_reasons": dict(rplan.replica_reasons),
             }
-            return ShardedEngine(max_workers=1).run(network, arrivals)
+            inline = ShardedEngine(
+                max_workers=1, replicate_state=self.replicate_state
+            )
+            return inline.run(network, arrivals)
         refresh_exec_keys(network)
         program_key = network._exec_program_key
         network_key = network._exec_network_key
         spec_bytes = self._spec_bytes(network, network_key)
         pool = self._ensure_pool(workers)
+        replicate = bool(rplan.replicated)
+        epoch = replication.next_epoch(network) if replicate else 0
         futures = []
         state_bytes = 0
         try:
             for shard_index, batch in batches:
                 shard = plan.shards[shard_index]
                 variables = batch_footprint(plan, batch)
+                lane_vars = replication.lane_replicas(rplan, batch) \
+                    if replicate else {}
+                replica_spec = (
+                    replication.wire_spec(lane_vars, epoch)
+                    if lane_vars else None
+                )
                 # Pre-pickled once: the worker unpickles this blob, so
                 # the byte accounting below is free instead of a second
-                # serialization of the same tables.
+                # serialization of the same tables.  Replica seeds ride
+                # in the same slice; the worker diffs against them.
                 state_blob = pickle.dumps(
-                    network.extract_shard_state(variables),
+                    network.extract_shard_state(
+                        set(variables) | set(lane_vars)
+                    ),
                     protocol=pickle.HIGHEST_PROTOCOL,
                 )
                 state_bytes += len(state_blob)
@@ -584,6 +686,7 @@ class ProcessPoolEngine:
                     spec_bytes,
                     shard.ports,
                     tuple(sorted(variables)),
+                    replica_spec,
                     state_blob,
                     batch,
                 )
@@ -603,18 +706,34 @@ class ProcessPoolEngine:
             # A worker cannot be targeted, so every task carries the spec.
             "spec_bytes": len(spec_bytes) * len(batches),
             "collapse_reasons": dict(plan.collapse_reasons),
+            "replicated_vars": sorted(rplan.replicated),
+            "replica_reasons": dict(rplan.replica_reasons),
         }
         outcomes: list = []
         failure = None
+        log_entries = log_bytes = 0
         for shard_index, future in futures:
             try:
-                records, links, state = future.result()
+                records, links, state, log = future.result()
             except Exception as exc:
                 if failure is None:
                     failure = (shard_index, exc)
                 continue
+            # Safe to merge while later lanes still run: every lane's
+            # seed was extracted and pickled before the first merge.
             network.merge_shard_state(state)
+            if log is not None:
+                replication.apply_replica_log(
+                    network, rplan.replicated, log, epoch
+                )
+                log_entries += replication.log_entries(log)
+                log_bytes += len(
+                    pickle.dumps(log, protocol=pickle.HIGHEST_PROTOCOL)
+                )
             outcomes.append((records, links))
+        if replicate:
+            self.last_run_stats["replica_log_entries"] = log_entries
+            self.last_run_stats["replica_log_bytes"] = log_bytes
         if failure is not None and isinstance(failure[1], BrokenProcessPool):
             # A worker crashed mid-batch: the executor is permanently
             # broken — release it so the next run recreates the pool.
@@ -629,6 +748,11 @@ class ProcessPoolEngine:
     def plan_for(self, network: Network) -> ShardPlan:
         """The network's shard plan (cached, mutation-invalidated)."""
         return plan_for(network)
+
+    def replica_plan(self, network: Network):
+        """The network's replica plan (cached; see
+        :func:`repro.dataplane.replication.replica_plan_for`)."""
+        return replication.replica_plan_for(network, self.replicate_state)
 
     # -- pool and spec lifecycle ------------------------------------------
 
@@ -1050,14 +1174,25 @@ def _worker_network(program_key, network_key, spec_bytes: bytes) -> Network:
 def _process_lane(payload: tuple):
     """One shard's batch, executed in a worker process.
 
-    Returns ``(records_by_index, link_counts, shard_state)`` — the same
-    lane output the thread engine produces, plus the shard's post-run
-    state for the parent to merge.
+    Returns ``(records_by_index, link_counts, shard_state, replica_log)``
+    — the same lane output the thread engine produces, plus the shard's
+    post-run state for the parent to merge and (when the lane carried a
+    replica spec) the update log diffed against the shipped seed.
     """
     (program_key, network_key, spec_bytes,
-     ports, variables, state_blob, batch) = payload
+     ports, variables, replica_spec, state_blob, batch) = payload
     network = _worker_network(program_key, network_key, spec_bytes)
-    network.install_shard_state(pickle.loads(state_blob))
+    seed = pickle.loads(state_blob)
+    network.install_shard_state(seed)
     lane = _Lane(network, Shard(tuple(ports), frozenset(variables)), batch)
     records, links = lane.run()
-    return records, links, network.extract_shard_state(variables)
+    state = network.extract_shard_state(variables)
+    log = None
+    if replica_spec is not None:
+        lane_vars = replication.replicas_from_spec(replica_spec)
+        log = replication.replica_log(
+            lane_vars, seed,
+            replication.extract_state(network, lane_vars),
+            replica_spec["epoch"],
+        )
+    return records, links, state, log

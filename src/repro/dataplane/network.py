@@ -107,6 +107,11 @@ class Network:
         #: explicitly (a name or an engine instance; the controller sets
         #: it from ``CompilerOptions.engine``).
         self.default_engine: object = "sequential"
+        #: Whether parallel engines may run state-compute replication
+        #: (:mod:`repro.dataplane.replication`) on this network; the
+        #: controller sets it from ``CompilerOptions.replicate_state``,
+        #: and an engine's own ``replicate_state=`` overrides it.
+        self.replicate_state: bool = True
         # Worker-cache keys for the process engine (see _EXEC_KEYS).
         self._exec_program_key = next(_EXEC_KEYS)
         self._exec_network_key = next(_EXEC_KEYS)
@@ -172,6 +177,7 @@ class Network:
         dup.link_packets = {}
         dup.deliveries = []
         dup.default_engine = self.default_engine
+        dup.replicate_state = getattr(self, "replicate_state", True)
         # Same compiled programs -> same program key (process-pool workers
         # keep their rehydrated programs); new routing -> new network key.
         dup._exec_program_key = self._exec_program_key
@@ -215,6 +221,11 @@ class Network:
 
     # -- per-shard state transfer (process-engine contract) ----------------
 
+    # The one implementation of the slice transfer lives in
+    # :mod:`repro.dataplane.replication` (imported lazily — replication
+    # imports this module at load time); these methods survive as the
+    # engine-facing contract every caller already uses.
+
     def extract_shard_state(self, variables) -> dict:
         """Snapshot the named state variables from their owner switches.
 
@@ -223,14 +234,9 @@ class Network:
         Variables without a placed owner are skipped (they cannot hold
         data-plane state).
         """
-        state: dict = {}
-        for var in sorted(variables):
-            owner = self.placement.get(var)
-            if owner is None:
-                continue
-            variable = self.switches[owner].store.variable(var)
-            state[var] = (variable.default, variable.snapshot())
-        return state
+        from repro.dataplane.replication import extract_state
+
+        return extract_state(self, variables)
 
     def install_shard_state(self, state: dict) -> None:
         """Replace the named variables' contents with ``state``.
@@ -239,13 +245,9 @@ class Network:
         hold a previous batch's values, so installation *replaces* each
         variable's table rather than merging into it.
         """
-        for var, (default, table) in state.items():
-            owner = self.placement.get(var)
-            if owner is None:
-                continue
-            variable = self.switches[owner].store.variable(var)
-            variable.default = default
-            variable._table = dict(table)
+        from repro.dataplane.replication import install_state
+
+        install_state(self, state)
 
     def merge_shard_state(self, state: dict) -> None:
         """Apply a worker's post-run shard state back into this network.
@@ -254,15 +256,12 @@ class Network:
         written into the variable's owner switch.  Shards are provably
         disjoint, and state tables never delete keys, so entry-wise update
         reproduces exactly the state a sequential run would have left.
+        Replicated variables travel through
+        :func:`repro.dataplane.replication.apply_replica_log` instead.
         """
-        for var, (default, table) in state.items():
-            owner = self.placement.get(var)
-            if owner is None:
-                continue
-            variable = self.switches[owner].store.variable(var)
-            variable.default = default
-            for key, value in table.items():
-                variable.set(key, value)
+        from repro.dataplane.replication import merge_state
+
+        merge_state(self, state)
 
     # -- egress selection (Appendix D) ----------------------------------------
 
@@ -572,6 +571,7 @@ def worker_network(
     network.link_packets = {}
     network.deliveries = []
     network.default_engine = "sequential"
+    network.replicate_state = False  # worker lanes never re-plan
     network._exec_program_key = program_key
     network._exec_network_key = network_key
     network._init_routing_indices()

@@ -416,10 +416,11 @@ def _touched_vars(network, program: SwitchProgram, entry: int) -> frozenset:
 
 def _commutable_vars(network) -> frozenset:
     """Variables whose deltas commute with *everything* else in the
-    program: per the effect analysis they are written only through
-    ``++``/``--`` (never assigned) and never state-tested anywhere in
-    the diagram, and their defaults are integers (or unset), so integer
-    increments stay exact under any application order.  Cached per
+    program: the same delta-eligibility predicate state-compute
+    replication uses (:func:`repro.dataplane.replication
+    .replicable_delta_vars` — increment-only, never state-tested,
+    integer default), so the vector fast path and the replica planner
+    always agree on which variables tolerate reordering.  Cached per
     compiled diagram (root identity), like the shard-plan cache."""
     index = network.index
     root = index.root if index is not None else None
@@ -429,13 +430,10 @@ def _commutable_vars(network) -> frozenset:
     if root is None:
         result = frozenset()
     else:
-        from repro.analysis.effects import commutative_delta_vars
+        from repro.dataplane.replication import replicable_delta_vars
 
-        defaults = getattr(network, "state_defaults", {})
-        result = frozenset(
-            var
-            for var in commutative_delta_vars(root)
-            if defaults.get(var) is None or isinstance(defaults[var], int)
+        result = replicable_delta_vars(
+            root, getattr(network, "state_defaults", {})
         )
     network._vector_commute_memo = (root, result)
     return result
@@ -1023,13 +1021,14 @@ class VectorEngine(ShardedEngine):
     jit = False
 
     def __init__(self, max_workers: int | None = None,
-                 commute_fastpath: bool | None = None):
+                 commute_fastpath: bool | None = None,
+                 replicate_state: bool | None = None):
         if np is None:
             raise DataPlaneError(
                 "the vector engines require numpy, which is not installed; "
                 "use engine='sharded' (or install numpy)"
             )
-        super().__init__(max_workers)
+        super().__init__(max_workers, replicate_state=replicate_state)
         # Opt-in: keep vector groups when every variable shared with the
         # scalar fallback is proven increment-only and never tested (see
         # VectorLane.run).  Default stays the conservative whole-batch
@@ -1037,6 +1036,23 @@ class VectorEngine(ShardedEngine):
         if commute_fastpath is None:
             commute_fastpath = os.environ.get("SNAP_VECTOR_COMMUTE") == "1"
         self.commute_fastpath = commute_fastpath
+
+    def replica_plan(self, network):
+        """State-compute replication, promoted from ``commute_fastpath``.
+
+        The vector tier's default is the conservative one its tests pin:
+        no reordering of state updates unless the user opted in — so a
+        default-configured vector engine only replicates when
+        ``replicate_state=True`` is passed explicitly or the
+        ``commute_fastpath`` opt-in (which already asserts tolerance to
+        delta reordering) is on.  Both draw from the same eligibility
+        predicate, so opting into one opts into the other coherently.
+        """
+        from repro.dataplane.replication import replica_plan_for
+
+        if self.replicate_state is None and not self.commute_fastpath:
+            return replica_plan_for(network, False)
+        return super().replica_plan(network)
 
     def _make_lane(self, network, shard: Shard, batch):
         return VectorLane(

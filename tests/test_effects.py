@@ -72,6 +72,7 @@ SAFE_APPS = {
         "heavy-hitter": K.IDEMPOTENT_INSERT,
         "hh-counter": K.INCREMENT,
     },
+    "global-heavy-hitter": {"global-hh": K.INCREMENT},
     "super-spreader": {
         "spreader": K.INCREMENT,
         "super-spreader": K.IDEMPOTENT_INSERT,

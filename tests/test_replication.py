@@ -1,0 +1,415 @@
+"""State-compute replication (`repro.dataplane.replication`).
+
+Covers the replica planner (which variables lift, which stay collapsed),
+the per-kind merge determinism (two runs leave byte-identical stores,
+both identical to a sequential run), the epoch-stamped reconciliation
+guard, the lane-failure contract with partial logs, and the plan-cache
+reuse across TE rewires.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.effects import EffectKind
+from repro.apps import global_heavy_hitter
+from repro.apps.routing import assign_egress, default_subnets, port_assumption
+from repro.core.controller import SnapController
+from repro.core.options import CompilerOptions
+from repro.core.program import Program
+from repro.dataplane.engine import (
+    ProcessPoolEngine,
+    SequentialEngine,
+    ShardedEngine,
+    plan_for,
+)
+from repro.dataplane import replication
+from repro.dataplane.replication import (
+    DELTA,
+    INSERT,
+    WATERMARK,
+    ReplicaVar,
+    apply_replica_log,
+    replica_log,
+    replica_plan_for,
+)
+from repro.lang import ast, make_packet
+from repro.lang.errors import DataPlaneError
+from repro.topology.campus import campus_topology
+
+NUM_PORTS = 6
+SUBNETS = default_subnets(NUM_PORTS)
+PORTS = list(range(1, NUM_PORTS + 1))
+
+
+def compiled(app=None, policy=None, defaults=None, name="case", **options):
+    if app is not None:
+        policy = ast.Seq(app.policy, assign_egress(SUBNETS))
+        defaults = app.state_defaults
+        name = app.name
+    else:
+        policy = ast.Seq(policy, assign_egress(SUBNETS))
+    program = Program(
+        policy,
+        assumption=port_assumption(SUBNETS),
+        state_defaults=defaults or {},
+        name=name,
+    )
+    controller = SnapController(
+        campus_topology(), program, options=CompilerOptions(**options)
+    )
+    return controller.submit()
+
+
+def global_counter_snapshot():
+    return compiled(app=global_heavy_hitter())
+
+
+def one_packet_per_port(host=1):
+    """One guard-matching packet per ingress port; each increments
+    ``global-hh`` under a distinct source key."""
+    return [
+        (make_packet(srcip=SUBNETS[p].host(host), dstip=SUBNETS[6].host(1)), p)
+        for p in PORTS
+    ]
+
+
+def record_view(records):
+    return [(r.egress, r.hops, r.packet) for r in records]
+
+
+def store_of(network, var="global-hh"):
+    owner = network.placement[var]
+    return network.switches[owner].store.variable(var)
+
+
+# -- the replica planner ------------------------------------------------------
+
+
+class TestReplicaPlanning:
+    def test_global_counter_recovers_parallelism(self):
+        net = global_counter_snapshot().build_network()
+        base = plan_for(net)
+        assert base.parallelism == 1
+        assert "global-hh" in base.collapse_reasons
+        assert base.collapse_reasons["global-hh"].startswith("SNAP-W104")
+
+        rplan = replica_plan_for(net, True)
+        assert rplan.plan.parallelism == NUM_PORTS
+        assert rplan.recovered == NUM_PORTS - 1
+        assert rplan.replicated == {
+            "global-hh": ReplicaVar("global-hh", DELTA)
+        }
+
+    def test_w104_downgraded_to_i402_when_replicated(self):
+        net = global_counter_snapshot().build_network()
+        rplan = replica_plan_for(net, True)
+        # The collapse no longer exists in the plan the engines run...
+        assert "global-hh" not in rplan.plan.collapse_reasons
+        # ...and the diagnostic downgraded from remedy to confirmation.
+        reason = rplan.replica_reasons["global-hh"]
+        assert reason.startswith("SNAP-I402")
+        assert "replicated across those lanes" in reason
+        assert "delta" in reason
+
+    def test_disabled_flag_keeps_owner_lane(self):
+        net = global_counter_snapshot().build_network()
+        rplan = replica_plan_for(net, False)
+        assert rplan.plan is rplan.base
+        assert rplan.replicated == {}
+        assert rplan.plan.parallelism == 1
+
+    def test_network_flag_is_the_default(self):
+        net = global_counter_snapshot().build_network()
+        net.replicate_state = False
+        assert replica_plan_for(net, None).replicated == {}
+        net.replicate_state = True
+        assert replica_plan_for(net, None).replicated != {}
+
+    def test_non_mergeable_variable_stays_owner_laned(self):
+        # Two distinct literals -> CONST_WRITE: last-writer-wins does
+        # not commute, so the variable must keep its serialized lane.
+        policy = ast.If(
+            ast.Test("dstip", SUBNETS[6]),
+            ast.If(
+                ast.Test("srcport", 7),
+                ast.StateMod("mode", ast.Field("srcip"), ast.Value(1)),
+                ast.StateMod("mode", ast.Field("srcip"), ast.Value(2)),
+            ),
+            ast.Id(),
+        )
+        net = compiled(policy=policy, defaults={"mode": 0}).build_network()
+        rplan = replica_plan_for(net, True)
+        assert rplan.replicated == {}
+        assert rplan.plan.parallelism == 1
+        assert "do not commute" in rplan.plan.collapse_reasons["mode"]
+
+    def test_tested_counter_stays_owner_laned(self):
+        # An increment that is also state-tested influences forwarding,
+        # so replicating it would change per-packet records: ineligible.
+        policy = ast.If(
+            ast.Test("dstip", SUBNETS[6]),
+            ast.Seq(
+                ast.StateIncr("glob", ast.Field("srcip")),
+                ast.If(
+                    ast.StateTest("glob", ast.Field("srcip"), ast.Value(3)),
+                    ast.Test("srcport", 7),  # filters: the test matters
+                    ast.Id(),
+                ),
+            ),
+            ast.Id(),
+        )
+        net = compiled(policy=policy, defaults={"glob": 0}).build_network()
+        rplan = replica_plan_for(net, True)
+        assert rplan.replicated == {}
+        assert rplan.plan.parallelism == 1
+
+    def test_single_port_variable_not_replicated(self):
+        # Only collapse-causing variables lift; a per-port counter
+        # reachable from one ingress stays sharded with zero overhead.
+        policy = ast.If(
+            ast.Test("inport", 1),
+            ast.StateIncr("only1", ast.Field("srcip")),
+            ast.Id(),
+        )
+        net = compiled(policy=policy, defaults={"only1": 0}).build_network()
+        rplan = replica_plan_for(net, True)
+        assert rplan.replicated == {}
+        assert rplan.plan is rplan.base
+
+    def test_rewire_reuses_cached_plans(self):
+        net = global_counter_snapshot().build_network()
+        plan = plan_for(net)
+        rplan = replica_plan_for(net, True)
+        rewired = net.rewire(net.topology, net.routing)
+        assert plan_for(rewired) is plan
+        assert replica_plan_for(rewired, True) is rplan
+
+
+# -- per-kind merge semantics (unit level) ------------------------------------
+
+
+class TestLogMerge:
+    def _one_var_network(self, kind, default=0):
+        net = global_counter_snapshot().build_network()
+        return net, {"global-hh": ReplicaVar("global-hh", kind)}
+
+    def test_delta_log_diffs_only_changed_keys(self):
+        lane_vars = {"c": ReplicaVar("c", DELTA)}
+        seed = {"c": (0, {(1,): 5, (2,): "corrupt"})}
+        final = {"c": (0, {(1,): 8, (2,): "corrupt", (3,): 2})}
+        log = replica_log(lane_vars, seed, final, epoch=7)
+        assert log == {"epoch": 7, "vars": {"c": {(1,): 3, (3,): 2}}}
+
+    def test_delta_log_rejects_non_integer_changes(self):
+        lane_vars = {"c": ReplicaVar("c", DELTA)}
+        seed = {"c": (0, {})}
+        final = {"c": (0, {(1,): 1.5})}
+        with pytest.raises(DataPlaneError, match="'c'"):
+            replica_log(lane_vars, seed, final, epoch=1)
+
+    def test_delta_merge_is_order_free(self):
+        logs = [
+            {"epoch": 5, "vars": {"global-hh": {(1,): 2, (2,): 1}}},
+            {"epoch": 5, "vars": {"global-hh": {(1,): 3}}},
+            {"epoch": 5, "vars": {"global-hh": {(2,): 4, (3,): 1}}},
+        ]
+        tables = []
+        for ordering in (logs, logs[::-1], [logs[1], logs[2], logs[0]]):
+            net, replicated = self._one_var_network(DELTA)
+            for log in ordering:
+                apply_replica_log(net, replicated, log, epoch=5)
+            tables.append(store_of(net).snapshot())
+        assert tables[0] == tables[1] == tables[2]
+        assert tables[0] == {(1,): 5, (2,): 5, (3,): 1}
+
+    def test_insert_merge_is_idempotent(self):
+        net, replicated = self._one_var_network(INSERT)
+        log = {"epoch": 2, "vars": {"global-hh": {(9,): True}}}
+        apply_replica_log(net, replicated, log, epoch=2)
+        apply_replica_log(net, replicated, log, epoch=2)
+        assert store_of(net).snapshot() == {(9,): True}
+
+    def test_watermark_merge_keeps_directional_extreme(self):
+        for direction, expected in ((1, 9), (-1, 2)):
+            net = global_counter_snapshot().build_network()
+            replicated = {
+                "global-hh": ReplicaVar("global-hh", WATERMARK, direction)
+            }
+            logs = [
+                {"epoch": 3, "vars": {"global-hh": {(1,): 7}}},
+                {"epoch": 3, "vars": {"global-hh": {(1,): 9}}},
+                {"epoch": 3, "vars": {"global-hh": {(1,): 2}}},
+            ]
+            for ordering in (logs, logs[::-1]):
+                for log in ordering:
+                    apply_replica_log(net, replicated, log, epoch=3)
+            assert store_of(net).snapshot() == {(1,): expected}, direction
+
+    def test_stale_epoch_is_refused(self):
+        net, replicated = self._one_var_network(DELTA)
+        log = {"epoch": 4, "vars": {"global-hh": {(1,): 1}}}
+        with pytest.raises(DataPlaneError, match="stale replica log"):
+            apply_replica_log(net, replicated, log, epoch=5)
+
+    def test_unplanned_variable_is_refused(self):
+        net, replicated = self._one_var_network(DELTA)
+        log = {"epoch": 1, "vars": {"rogue": {(1,): 1}}}
+        with pytest.raises(DataPlaneError, match="rogue"):
+            apply_replica_log(net, replicated, log, epoch=1)
+
+
+# -- runtime determinism across engines ---------------------------------------
+
+
+class TestRuntimeDeterminism:
+    def _arrivals(self):
+        # Three guard-matching packets per port (two distinct hosts, one
+        # repeat) so every lane both creates and re-increments keys.
+        return (
+            one_packet_per_port(1)
+            + one_packet_per_port(2)
+            + one_packet_per_port(1)
+        )
+
+    def test_two_replicated_runs_and_sequential_agree(self):
+        snapshot = global_counter_snapshot()
+        arrivals = self._arrivals()
+        seq_net = snapshot.build_network()
+        seq = SequentialEngine().run(seq_net, list(arrivals))
+        stores, views = [], []
+        for _ in range(2):
+            net = snapshot.build_network()
+            engine = ShardedEngine(max_workers=2, replicate_state=True)
+            results = engine.run(net, list(arrivals))
+            assert engine.last_run_stats["lanes"] == NUM_PORTS
+            stores.append(net.global_store())
+            views.append([record_view(r) for r in results])
+        assert stores[0] == stores[1] == seq_net.global_store()
+        assert views[0] == views[1] == [record_view(r) for r in seq]
+        # Every key counted exactly once per matching packet.
+        assert store_of(seq_net).snapshot() == {
+            (SUBNETS[p].host(1),): 2 for p in PORTS
+        } | {(SUBNETS[p].host(2),): 1 for p in PORTS}
+
+    def test_insert_kind_replicates_byte_identically(self):
+        policy = ast.If(
+            ast.Test("dstip", SUBNETS[6]),
+            ast.StateMod("seen", ast.Field("srcip"), ast.Value(True)),
+            ast.Id(),
+        )
+        snapshot = compiled(policy=policy, defaults={"seen": False})
+        arrivals = self._arrivals()
+        seq_net = snapshot.build_network()
+        SequentialEngine().run(seq_net, list(arrivals))
+        net = snapshot.build_network()
+        engine = ShardedEngine(max_workers=2, replicate_state=True)
+        engine.run(net, list(arrivals))
+        assert engine.last_run_stats["replicated_vars"] == ["seen"]
+        assert replica_plan_for(net, True).replicated["seen"].kind == INSERT
+        assert net.global_store() == seq_net.global_store()
+
+    def test_process_engine_replicates_byte_identically(self):
+        snapshot = global_counter_snapshot()
+        arrivals = self._arrivals()
+        seq_net = snapshot.build_network()
+        seq = SequentialEngine().run(seq_net, list(arrivals))
+        engine = ProcessPoolEngine(max_workers=2, replicate_state=True)
+        try:
+            net = snapshot.build_network()
+            results = engine.run(net, list(arrivals))
+            stats = engine.last_run_stats
+            assert stats["lanes"] == NUM_PORTS
+            assert stats["replicated_vars"] == ["global-hh"]
+            assert stats["replica_log_entries"] > 0
+            assert stats["replica_log_bytes"] > 0
+            assert net.global_store() == seq_net.global_store()
+            assert [record_view(r) for r in results] == [
+                record_view(r) for r in seq
+            ]
+        finally:
+            engine.close()
+
+    def test_replication_stats_and_reasons(self):
+        net = global_counter_snapshot().build_network()
+        engine = ShardedEngine(max_workers=2, replicate_state=True)
+        engine.run(net, self._arrivals())
+        stats = engine.last_run_stats
+        assert stats["replicated_vars"] == ["global-hh"]
+        assert "global-hh" not in stats["collapse_reasons"]
+        assert stats["replica_reasons"]["global-hh"].startswith("SNAP-I402")
+        # 12 distinct (srcip) keys changed across 6 lanes.
+        assert stats["replica_log_entries"] == 2 * NUM_PORTS
+        assert stats["replica_log_bytes"] > 0
+
+    def test_replication_off_keeps_w104_and_one_lane(self):
+        net = global_counter_snapshot().build_network()
+        engine = ShardedEngine(max_workers=2, replicate_state=False)
+        engine.run(net, self._arrivals())
+        stats = engine.last_run_stats
+        assert stats["lanes"] == 1
+        assert stats["replicated_vars"] == []
+        assert stats["collapse_reasons"]["global-hh"].startswith("SNAP-W104")
+
+
+# -- lane failure with partial logs -------------------------------------------
+
+
+class TestLaneFailureWithPartialLogs:
+    def test_completed_lanes_merge_before_named_error(self):
+        snapshot = global_counter_snapshot()
+        net = snapshot.build_network()
+        # Poison port 3's key: its lane's increment raises mid-run.
+        poison_key = (SUBNETS[3].host(1),)
+        store_of(net).set(poison_key, "corrupt")
+        engine = ShardedEngine(max_workers=1, replicate_state=True)
+        with pytest.raises(DataPlaneError) as err:
+            engine.run(net, one_packet_per_port(1))
+        # Inline lanes run in shard (port) order and stop at the failure:
+        # lanes 1-2 completed, their logs merged; 4-6 never started.
+        table = store_of(net).snapshot()
+        assert table[(SUBNETS[1].host(1),)] == 1
+        assert table[(SUBNETS[2].host(1),)] == 1
+        assert table[poison_key] == "corrupt"
+        for p in (4, 5, 6):
+            assert (SUBNETS[p].host(1),) not in table
+        assert "failed" in str(err.value)
+
+    def test_parallel_failure_still_merges_completed_lanes(self):
+        snapshot = global_counter_snapshot()
+        net = snapshot.build_network()
+        poison_key = (SUBNETS[3].host(1),)
+        store_of(net).set(poison_key, "corrupt")
+        engine = ShardedEngine(max_workers=4, replicate_state=True)
+        with pytest.raises(DataPlaneError):
+            engine.run(net, one_packet_per_port(1))
+        table = store_of(net).snapshot()
+        # Every lane but the poisoned one completed and merged its log.
+        for p in (1, 2, 4, 5, 6):
+            assert table[(SUBNETS[p].host(1),)] == 1, p
+        assert table[poison_key] == "corrupt"
+
+
+# -- analyzer agreement -------------------------------------------------------
+
+
+class TestAnalyzerAgreement:
+    def test_replicated_kind_matches_effect_report(self):
+        snapshot = global_counter_snapshot()
+        report = snapshot.model_stats["effects"]
+        assert report.kind("global-hh") is EffectKind.INCREMENT
+        assert "global-hh" in report.mergeable_vars
+        net = snapshot.build_network()
+        assert replica_plan_for(net, True).replicated["global-hh"].kind \
+            == DELTA
+
+    def test_vector_commute_set_matches_replica_eligibility(self):
+        from repro.dataplane.vector import _commutable_vars
+
+        net = global_counter_snapshot().build_network()
+        assert _commutable_vars(net) == frozenset(
+            replication.replicable_delta_vars(
+                net.index.root, net.state_defaults
+            )
+        )
+        assert "global-hh" in _commutable_vars(net)
