@@ -11,19 +11,29 @@ Results are merged into ``BENCH_xfdd.json`` under ``controller_events``
 so the trajectory is tracked next to the composition-engine numbers.
 """
 
+import os
 import time
 
 from repro.apps.chimera import dns_tunnel_detect
 from repro.apps.fast import stateful_firewall
 from repro.core.controller import SnapController
+from repro.lang import ast
 from repro.topology.campus import campus_topology
 
 from conftest import merge_bench_results
-from workloads import dns_tunnel_program, print_table
+from workloads import composed_program, dns_tunnel_program, print_table
 
 #: (label, event callable) — the repeating post-cold-start event mix.
 NUM_PORTS = 6
 EVENT_ROUNDS = 5
+
+#: ``INCREMENTAL_SMOKE=1`` shrinks the incremental cold-vs-warm study to
+#: a CI-sized smoke run (fewer rounds, looser speedup floor — CI boxes
+#: are noisy; the full run must meet the ROADMAP-grade floor).
+INCREMENTAL_SMOKE = os.environ.get("INCREMENTAL_SMOKE") == "1"
+INC_APPS = 6
+INC_ROUNDS = 3 if INCREMENTAL_SMOKE else 8
+INC_SPEEDUP_FLOOR = 2.0 if INCREMENTAL_SMOKE else 5.0
 
 
 def _alt_program():
@@ -110,4 +120,97 @@ def test_event_sequence_throughput(benchmark):
         "events_per_s": round(throughput, 2),
         "backend_calls": calls,
         "per_event": summary,
+    })
+
+
+def _flatten_parallel(policy):
+    if isinstance(policy, ast.Parallel):
+        return _flatten_parallel(policy.left) + _flatten_parallel(policy.right)
+    return [policy]
+
+
+def _single_app_edit(base, k, salt):
+    """Edit one app of the composite: guard arm ``k`` against one extra
+    srcport.  State reads/writes are untouched, so S_uv and the
+    dependency constraints — everything the MILP sees — are unchanged."""
+    from repro.core.program import Program
+
+    par, egress = base.policy.left, base.policy.right
+    arms = _flatten_parallel(par)
+    arms[k] = ast.Seq(ast.Not(ast.Test("srcport", 40000 + salt)), arms[k])
+    return Program(
+        ast.Seq(ast.par_all(arms), egress),
+        assumption=base.assumption,
+        state_defaults=dict(base.state_defaults),
+        name=base.name,
+    )
+
+
+def test_incremental_single_app_edit(benchmark):
+    """Cold vs warm ``update_policy`` for single-app edits (ROADMAP:
+    incremental compilation).  Each round edits one app of a 6-app
+    composite, compiles it twice — forced from-scratch, then through the
+    persistent session — and asserts the snapshots agree."""
+    base = composed_program(INC_APPS, NUM_PORTS)
+    controller = SnapController(campus_topology(), base)
+    controller.submit()
+    cold_times: list = []
+    warm_times: list = []
+    reused = recompiled = solve_reused = 0
+
+    def run():
+        nonlocal reused, recompiled, solve_reused
+        for round_ in range(INC_ROUNDS):
+            edited = _single_app_edit(base, round_ % INC_APPS, round_)
+            t0 = time.perf_counter()
+            cold = controller.update_policy(edited, incremental=False)
+            cold_times.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            warm = controller.update_policy(edited)
+            warm_times.append(time.perf_counter() - t0)
+            assert dict(warm.placement) == dict(cold.placement)
+            assert dict(warm.mapping.items()) == dict(cold.mapping.items())
+            assert warm.routing.paths == cold.routing.paths
+            reused += warm.model_stats["incremental_reused"]
+            recompiled += warm.model_stats["incremental_recompiled"]
+            solve_reused += 1 if warm.model_stats["solve_reused"] else 0
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    # Every warm round: the edited arm recompiles, everything else —
+    # the assumption segment, the 5 untouched arms, the egress segment —
+    # splices from the previous generation.  The solve memo always hits
+    # (the edit preserves every MILP input).
+    assert recompiled == INC_ROUNDS
+    assert reused == INC_ROUNDS * (INC_APPS + 1)
+    assert solve_reused == INC_ROUNDS
+
+    cold_mean = sum(cold_times) / len(cold_times) * 1000
+    warm_mean = sum(warm_times) / len(warm_times) * 1000
+    speedup = cold_mean / warm_mean
+    print_table(
+        f"Incremental update_policy (campus, {INC_APPS}-app composite, "
+        f"{INC_ROUNDS} single-app edits)",
+        ("path", "mean", "best"),
+        [
+            ("cold (from scratch)", f"{cold_mean:.1f}ms",
+             f"{min(cold_times) * 1000:.1f}ms"),
+            ("warm (incremental)", f"{warm_mean:.1f}ms",
+             f"{min(warm_times) * 1000:.1f}ms"),
+        ],
+    )
+    print(f"\nspeedup: {speedup:.1f}x (floor {INC_SPEEDUP_FLOOR}x"
+          f"{', smoke' if INCREMENTAL_SMOKE else ''})")
+    assert speedup >= INC_SPEEDUP_FLOOR
+
+    merge_bench_results("incremental", {
+        "apps": INC_APPS,
+        "rounds": INC_ROUNDS,
+        "smoke": INCREMENTAL_SMOKE,
+        "cold_mean_ms": round(cold_mean, 3),
+        "warm_mean_ms": round(warm_mean, 3),
+        "speedup": round(speedup, 2),
+        "arms_reused": reused,
+        "arms_recompiled": recompiled,
+        "solve_reused_rounds": solve_reused,
     })

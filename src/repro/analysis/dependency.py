@@ -18,10 +18,13 @@ pairs consumed by the MILP (§4.4).
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 import networkx as nx
 
 from repro.lang import ast
 from repro.lang.ast import state_reads, state_variables, state_writes
+from repro.lang.fingerprint import fingerprint
 
 
 def st_dep(policy: ast.Policy) -> frozenset:
@@ -47,6 +50,99 @@ def st_dep(policy: ast.Policy) -> frozenset:
     if isinstance(policy, ast.Not):
         return st_dep(policy.pred)
     return frozenset()
+
+
+class DependencySlice(NamedTuple):
+    """One subtree's contribution to the dependency analysis."""
+
+    edges: frozenset
+    reads: frozenset
+    writes: frozenset
+
+
+_EMPTY_SLICE = DependencySlice(frozenset(), frozenset(), frozenset())
+
+#: Nodes worth memoizing — everything with policy children.
+_COMPOSITE = (ast.Not, ast.And, ast.Or, ast.Parallel, ast.Seq, ast.If, ast.Atomic)
+
+
+class DependencySlicer:
+    """Fingerprint-memoized ``st-dep`` slices for incremental compilation.
+
+    ``slice(p)`` returns the same ``(edges, reads, writes)`` triple the
+    plain recursion would derive for ``p``, but memoizes every composite
+    subtree by its structural fingerprint.  Across ``update_policy``
+    generations only the *dirty* subtrees are revisited; retained slices
+    merge for free (the recursion unions child results, and unchanged
+    children are O(1) lookups).  The memo is pure — slices depend only on
+    the subtree's structure — so entries never invalidate; the owning
+    session bounds its growth by resetting with the rest of its caches.
+    """
+
+    __slots__ = ("_memo",)
+
+    def __init__(self):
+        self._memo: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def slice(self, policy: ast.Policy) -> DependencySlice:
+        if not isinstance(policy, _COMPOSITE):
+            if isinstance(policy, ast.StateTest):
+                return DependencySlice(
+                    frozenset(), frozenset((policy.var,)), frozenset()
+                )
+            if isinstance(policy, (ast.StateMod, ast.StateIncr, ast.StateDecr)):
+                return DependencySlice(
+                    frozenset(), frozenset(), frozenset((policy.var,))
+                )
+            return _EMPTY_SLICE
+        key = fingerprint(policy)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        result = self._slice_composite(policy)
+        self._memo[key] = result
+        return result
+
+    def _slice_composite(self, policy) -> DependencySlice:
+        # Mirrors st_dep exactly; reads/writes mirror state_reads/-writes.
+        if isinstance(policy, ast.Not):
+            return self.slice(policy.pred)
+        if isinstance(policy, (ast.And, ast.Or, ast.Parallel)):
+            left, right = self.slice(policy.left), self.slice(policy.right)
+            return DependencySlice(
+                left.edges | right.edges,
+                left.reads | right.reads,
+                left.writes | right.writes,
+            )
+        if isinstance(policy, ast.Seq):
+            left, right = self.slice(policy.left), self.slice(policy.right)
+            crossed = frozenset(
+                (s, t) for s in left.reads for t in right.writes
+            )
+            return DependencySlice(
+                crossed | left.edges | right.edges,
+                left.reads | right.reads,
+                left.writes | right.writes,
+            )
+        if isinstance(policy, ast.If):
+            pred = self.slice(policy.pred)
+            then = self.slice(policy.then)
+            orelse = self.slice(policy.orelse)
+            written = then.writes | orelse.writes
+            crossed = frozenset((s, t) for s in pred.reads for t in written)
+            return DependencySlice(
+                crossed | then.edges | orelse.edges,
+                pred.reads | then.reads | orelse.reads,
+                written,
+            )
+        # Atomic: full cross product over everything the body touches.
+        body = self.slice(policy.body)
+        touched = body.reads | body.writes
+        crossed = frozenset((s, t) for s in touched for t in touched)
+        return DependencySlice(crossed | body.edges, body.reads, body.writes)
 
 
 class DependencyInfo:
@@ -93,9 +189,21 @@ class DependencyInfo:
         )
 
 
-def analyze_dependencies(policy: ast.Policy) -> DependencyInfo:
-    """Run st-dep and condense the resulting graph."""
+def analyze_dependencies(
+    policy: ast.Policy, slicer: DependencySlicer | None = None
+) -> DependencyInfo:
+    """Run st-dep and condense the resulting graph.
+
+    With a ``slicer`` the edge set comes from fingerprint-memoized
+    per-subtree slices (same result, but unchanged subtrees across
+    recompilations are O(1) lookups instead of re-walks).
+    """
     graph = nx.DiGraph()
-    graph.add_nodes_from(state_variables(policy))
-    graph.add_edges_from(st_dep(policy))
+    if slicer is not None:
+        sliced = slicer.slice(policy)
+        graph.add_nodes_from(sliced.reads | sliced.writes)
+        graph.add_edges_from(sliced.edges)
+    else:
+        graph.add_nodes_from(state_variables(policy))
+        graph.add_edges_from(st_dep(policy))
     return DependencyInfo(graph)

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from repro.lang.values import matches
 from repro.xfdd.actions import DropAction, FieldAssign
-from repro.xfdd.diagram import XFDD, iter_paths
+from repro.xfdd.diagram import XFDD, Leaf, iter_paths
 from repro.xfdd.tests import FieldValueTest, StateVarTest
 
 INPORT = "inport"
@@ -118,8 +118,151 @@ def _leaf_egresses(leaf, outports):
     return egresses & set(outports), unknown
 
 
-def packet_state_mapping(xfdd: XFDD, inports, outports) -> PacketStateMapping:
-    """Compute S_uv for every OBS port pair by walking the xFDD's paths."""
+def path_summaries(xfdd: XFDD, memo: dict | None = None) -> frozenset:
+    """Port-independent digest of every reachable root-to-leaf path.
+
+    Returns a frozenset of ``(constraints, reads, leaf)`` triples, where
+    ``constraints`` is a frozenset of ``(value, positive)`` inport tests
+    taken along the path and ``reads`` the state variables tested.  Paths
+    through a *positive* outport test are pruned (fresh packets carry no
+    outport), and paths that differ only in state-irrelevant tests
+    collapse into one triple — which is both the speedup (the diagram is
+    walked as a DAG, one visit per node) and the memoization hook: the
+    summary of a shared sub-diagram is computed once and, with a
+    caller-supplied ``memo`` keyed by node identity, survives across
+    compilations that splice the same interned subtrees (node identity is
+    pinned by the owning :class:`~repro.xfdd.diagram.DiagramFactory`).
+    """
+    if memo is None:
+        memo = {}
+
+    def summarize(node) -> frozenset:
+        key = id(node)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        if isinstance(node, Leaf):
+            result = frozenset(((frozenset(), frozenset(), node),))
+        else:
+            hi = summarize(node.hi)
+            lo = summarize(node.lo)
+            test = node.test
+            if isinstance(test, StateVarTest):
+                # Both branches read the variable: deciding the test
+                # requires it regardless of which way the packet goes.
+                hi = frozenset(
+                    (c, reads | {test.var}, leaf) for c, reads, leaf in hi
+                )
+                lo = frozenset(
+                    (c, reads | {test.var}, leaf) for c, reads, leaf in lo
+                )
+            elif isinstance(test, FieldValueTest) and test.field == INPORT:
+                hi = frozenset(
+                    (c | {(test.value, True)}, reads, leaf)
+                    for c, reads, leaf in hi
+                )
+                lo = frozenset(
+                    (c | {(test.value, False)}, reads, leaf)
+                    for c, reads, leaf in lo
+                )
+            elif isinstance(test, FieldValueTest) and test.field == OUTPORT:
+                hi = frozenset()  # positive outport test: unreachable
+            result = hi | lo
+        memo[key] = result
+        return result
+
+    return summarize(xfdd)
+
+
+def _constrained_inports(constraints, inports):
+    """Ingress ports compatible with a summary's inport constraints."""
+    allowed = set(inports)
+    for value, positive in constraints:
+        if positive:
+            allowed = {p for p in allowed if matches(p, value)}
+        else:
+            allowed = {p for p in allowed if not matches(p, value)}
+    return allowed
+
+
+def _summary_sort_key(entry):
+    constraints, reads, leaf = entry
+    return (sorted(map(repr, constraints)), sorted(reads), repr(leaf))
+
+
+def packet_state_mapping(
+    xfdd: XFDD, inports, outports, memo: dict | None = None
+) -> PacketStateMapping:
+    """Compute S_uv for every OBS port pair from the xFDD's path summaries.
+
+    Equivalent to enumerating every root-to-leaf path (the previous
+    implementation, kept as :func:`packet_state_mapping_paths` for the
+    equivalence property): summaries merge exactly the paths that
+    contribute identical ``(sources, states, leaf)`` attributions, and
+    both the attribution and the deferred pure-drop fallback are
+    idempotent set unions, so collapsing duplicates cannot change the
+    result.  ``memo`` (optional, node-id keyed) lets a long-lived session
+    reuse sub-diagram summaries across recompilations.
+    """
+    needed: dict = {}
+    outport_set = list(outports)
+    deferred: list = []  # (sources, states) of pure-drop summaries
+
+    def attribute(sources, targets, states):
+        for u in sources:
+            for v in targets:
+                if u == v:
+                    continue
+                key = (u, v)
+                needed[key] = needed.get(key, frozenset()) | states
+
+    # Sorted iteration: the final mapping is order-independent (see
+    # docstring) but dict insertion order — which downstream model
+    # construction sees — should not depend on set-hash order.
+    summaries = sorted(path_summaries(xfdd, memo), key=_summary_sort_key)
+    egress_cache: dict = {}
+    for constraints, reads, leaf in summaries:
+        states = reads | leaf.written_state_vars()
+        if not states:
+            continue
+        sources = _constrained_inports(constraints, inports)
+        if not sources:
+            continue
+        cached = egress_cache.get(id(leaf))
+        if cached is None:
+            cached = _leaf_egresses(leaf, outport_set)
+            egress_cache[id(leaf)] = cached
+        egresses, unknown = cached
+        if egresses and not unknown:
+            attribute(sources, egresses, states)
+        elif unknown:
+            attribute(sources, set(outport_set), states)
+        else:
+            # Pure-drop path: defer — it only needs an existing flow to
+            # ride to the state switch (see module docstring).
+            deferred.append((sources, states))
+
+    for sources, states in deferred:
+        for u in sources:
+            for s in states:
+                covered = any(
+                    s in needed.get((u, v), frozenset())
+                    for v in outport_set
+                    if v != u
+                )
+                if not covered:
+                    attribute((u,), set(outport_set), frozenset((s,)))
+    return PacketStateMapping(
+        dict(sorted(needed.items())), inports, outports
+    )
+
+
+def packet_state_mapping_paths(xfdd: XFDD, inports, outports) -> PacketStateMapping:
+    """Reference implementation: explicit path enumeration (pre-memo).
+
+    Kept for the equivalence property in the test suite; production code
+    uses :func:`packet_state_mapping`.
+    """
     needed: dict = {}
     outport_set = list(outports)
     deferred: list = []  # (sources, states) of pure-drop paths
@@ -147,8 +290,6 @@ def packet_state_mapping(xfdd: XFDD, inports, outports) -> PacketStateMapping:
         elif unknown:
             attribute(sources, set(outport_set), states)
         else:
-            # Pure-drop path: defer — it only needs an existing flow to
-            # ride to the state switch (see module docstring).
             deferred.append((sources, states))
 
     for sources, states in deferred:

@@ -1,0 +1,84 @@
+"""Per-subpolicy compilation artifacts (incremental provenance).
+
+An ST compilation decomposes the program's policy into *units* — the
+segments of its top-level sequential spine, with parallel compositions
+flattened into their arms — and records one :class:`SubPolicyArtifact`
+per unit on the snapshot: the unit's structural fingerprint, its own
+sub-xFDD, its dependency slice, its static effect report, and whether
+the incremental session spliced it from an earlier generation or
+recompiled it this generation.
+
+The decomposition is provenance only: compilation still translates the
+whole policy (memoizing every composite subtree), so there is no
+left-distributivity rewriting here — ``p ; (q + r)`` is never rewritten
+to ``(p;q) + (p;r)``, which would be unsound with state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.lang import ast
+
+
+@dataclass(frozen=True)
+class SubPolicyArtifact:
+    """One unit's contribution to a compilation (see module docstring)."""
+
+    #: Structural fingerprint (hex) — the cross-generation cache key.
+    fingerprint: str
+    #: Position label, e.g. ``"seq0.arm2"`` (stable across generations
+    #: for unchanged spines).
+    label: str
+    policy: Any
+    #: The unit's own xFDD (interned in the snapshot's factory).
+    xfdd: Any
+    #: st-dep edges contributed by this unit alone.
+    dep_edges: frozenset
+    #: State variables the unit reads or writes.
+    state_vars: frozenset
+    #: Static effect report for the unit (update-kind classification).
+    effects: Any
+    #: True when the incremental session reused a prior generation's
+    #: diagram for this unit; False when it was (re)compiled.
+    reused: bool
+
+
+def split_units(policy: ast.Policy) -> list:
+    """``[(label, subpolicy)]`` — the top-level decomposition of ``policy``.
+
+    Peels the sequential spine left-to-right, then flattens each
+    segment's parallel composition into its arms, preserving order.
+    Labels are positional (``seq<i>`` / ``seq<i>.arm<j>``) so a
+    single-arm edit keeps every other unit's label stable.
+    """
+    segments: list = []
+
+    def peel_seq(p):
+        if isinstance(p, ast.Seq):
+            peel_seq(p.left)
+            peel_seq(p.right)
+        else:
+            segments.append(p)
+
+    peel_seq(policy)
+    units: list = []
+    for i, segment in enumerate(segments):
+        arms: list = []
+
+        def peel_par(p):
+            if isinstance(p, ast.Parallel):
+                peel_par(p.left)
+                peel_par(p.right)
+            else:
+                arms.append(p)
+
+        peel_par(segment)
+        if len(arms) == 1:
+            units.append((f"seq{i}", segment))
+        else:
+            units.extend(
+                (f"seq{i}.arm{j}", arm) for j, arm in enumerate(arms)
+            )
+    return units

@@ -41,21 +41,25 @@ without losing its state.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from contextlib import contextmanager
 from dataclasses import replace
 from types import MappingProxyType
+from typing import NamedTuple
 
-from repro.analysis.dependency import analyze_dependencies
+from repro.analysis.dependency import analyze_dependencies, st_dep
 from repro.analysis.effects import analyze_effects
 from repro.analysis.packet_state import packet_state_mapping
+from repro.core.artifacts import SubPolicyArtifact, split_units
 from repro.core.options import CompilerOptions
 from repro.core.program import Program
 from repro.core.result import EVENT_SCENARIOS, Snapshot
 from repro.dataplane.engine import make_session_engine
 from repro.dataplane.network import Network
 from repro.dataplane.rules import build_rule_tables
+from repro.lang.ast import state_variables
 from repro.lang.errors import SnapError
+from repro.lang.fingerprint import fingerprint_hex
 from repro.milp.backends import get_backend
 from repro.milp.results import extract_paths, validate_solution
 from repro.topology.graph import Topology
@@ -64,7 +68,13 @@ from repro.util.timer import PhaseTimer
 from repro.xfdd.build import to_xfdd
 from repro.xfdd.compose import Composer
 from repro.xfdd.diagram import DiagramFactory
+from repro.xfdd.incremental import CompileSession
 from repro.xfdd.order import TestOrder
+
+#: Bound on the content-keyed ST-solve memo: each entry pins a solution
+#: and routing (small), and real event streams alternate among a handful
+#: of placements (A/B policy flips, threshold sweeps).
+SOLVE_MEMO_CAP = 32
 
 
 def _norm_link(a, b=None):
@@ -72,6 +82,19 @@ def _norm_link(a, b=None):
     if b is None:
         a, b = a
     return tuple(sorted((a, b)))
+
+
+class AnalysisResult(NamedTuple):
+    """What P1-P3 produce for one compilation."""
+
+    dependencies: object
+    xfdd: object
+    mapping: object
+    stats: dict
+    factory: object
+    artifacts: dict
+    reused: int
+    recompiled: int
 
 
 class SnapController:
@@ -114,6 +137,14 @@ class SnapController:
         # Standing TE model (§6.2.2) and the failure set applied to it.
         self._te_model = None
         self._model_failed: set = set()
+        # Incremental delta compilation (ROADMAP): one persistent
+        # CompileSession carries the hash-consing factory, apply-cache,
+        # sub-xFDD/effects memos, dependency slicer, and path-summary
+        # memo across generations; the solve memo reuses whole ST
+        # solutions when nothing the MILP sees changed.
+        self._session = CompileSession() if options.incremental else None
+        self._solve_memo: OrderedDict = OrderedDict()
+        self._last_solve_key = None
 
     # -- introspection -----------------------------------------------------
 
@@ -171,7 +202,8 @@ class SnapController:
     def submit(self, program: Program | None = None) -> Snapshot:
         """Cold start: compile ``program`` from scratch (all phases, ST).
 
-        Resets session event state (failed links, standing TE model).
+        Resets session event state (failed links, standing TE model) and
+        every incremental cache — a resubmit is a genuine cold start.
         """
         with self._event_transaction():
             if program is not None:
@@ -179,19 +211,32 @@ class SnapController:
             if self._program is None:
                 raise SnapError("no program: pass one to submit() or __init__")
             self._failed = frozenset()
+            if self._session is not None:
+                self._session.reset()
+            self._solve_memo.clear()
+            self._last_solve_key = None
             return self._compile_st("cold_start")
 
-    def update_policy(self, program: Program | None = None) -> Snapshot:
+    def update_policy(
+        self, program: Program | None = None, *, incremental: bool | None = None
+    ) -> Snapshot:
         """Policy change: recompile (placement re-decided, ST).
 
         Failed links stay failed — the new placement is solved against
-        the current effective topology.
+        the current effective topology.  ``incremental`` overrides
+        ``options.incremental`` for this one event: ``False`` forces the
+        from-scratch path (the escape hatch, and what the equivalence
+        tests compare against); the session's caches are left alone
+        either way.
         """
         self._require_current("update_policy")
+        use_incremental = (
+            self._options.incremental if incremental is None else incremental
+        )
         with self._event_transaction():
             if program is not None:
                 self._program = program
-            return self._compile_st("policy_change")
+            return self._compile_st("policy_change", incremental=use_incremental)
 
     # -- TE events (placement fixed, routing re-optimized) -----------------
 
@@ -271,6 +316,35 @@ class SnapController:
                 )
             return self._reoptimize(event, demands_changed=demands_changed)
 
+    # -- session input mutators (no compilation) ---------------------------
+
+    def replace_program(self, program: Program | None) -> None:
+        """Set the session's program without compiling it yet.
+
+        The next ST event (``submit``/``update_policy``) compiles it.
+        The standing TE model and the solve-retention key are dropped:
+        they describe the previous program, and a later TE event must
+        not re-route against inputs the session no longer holds.  (The
+        deprecated ``Compiler.program`` setter used to poke
+        ``_program`` directly with no invalidation — this is the
+        sanctioned spelling.)
+        """
+        self._program = program
+        self._invalidate_te()
+        self._last_solve_key = None
+
+    def replace_topology(self, topology: Topology) -> None:
+        """Replace the base topology without re-routing yet.
+
+        The failure set is reset (it names links of the old graph) and
+        the standing TE model and solve-retention key are dropped.
+        ``update_topology`` is the compiling form of this.
+        """
+        self._topology = topology
+        self._failed = frozenset()
+        self._invalidate_te()
+        self._last_solve_key = None
+
     # -- the live data plane -----------------------------------------------
 
     def network(self) -> Network:
@@ -347,50 +421,199 @@ class SnapController:
         self._te_model = None
         self._model_failed = set()
 
-    def _analysis(self, program: Program, topology: Topology, timer: PhaseTimer):
-        """Phases P1-P3 against an explicit topology (never ``self``'s)."""
+    def _analysis(
+        self,
+        program: Program,
+        topology: Topology,
+        timer: PhaseTimer,
+        session: CompileSession | None = None,
+    ) -> AnalysisResult:
+        """Phases P1-P3 against an explicit topology (never ``self``'s).
+
+        With a ``session``, P1-P3 run their delta paths: the dependency
+        slicer, the fingerprint-memoized sub-xFDD build, and the node-id
+        path-summary memo all reuse prior-generation work, and the
+        reported xfdd counters are *per-compile deltas* of the session's
+        cumulative counters (so they describe this compilation, same as
+        the cold path's fresh counters do).  Without one, behaviour is
+        the original from-scratch compile.
+        """
+        full = program.full_policy()
         with timer.phase("P1"):
-            dependencies = analyze_dependencies(program.full_policy())
+            slicer = session.dep_slicer if session is not None else None
+            dependencies = analyze_dependencies(full, slicer=slicer)
         with timer.phase("P2"):
-            order = TestOrder(program.registry, dependencies.state_rank)
-            # One hash-consing session and apply-cache per compilation:
-            # the intern table cannot leak across runs, and cache hit
-            # counters describe exactly this program.
-            factory = DiagramFactory()
-            composer = Composer(order, factory=factory)
-            xfdd = to_xfdd(program.full_policy(), composer)
+            if session is not None:
+                composer = session.begin_compile(
+                    program.registry, dependencies.state_rank
+                )
+                factory = session.factory
+                pre = composer.cache_stats()
+                memo_pre = session.stats()
+                xfdd = session.build(full)
+            else:
+                order = TestOrder(program.registry, dependencies.state_rank)
+                # One hash-consing session and apply-cache per
+                # compilation: the intern table cannot leak across runs,
+                # and cache hit counters describe exactly this program.
+                factory = DiagramFactory()
+                composer = Composer(order, factory=factory)
+                xfdd = to_xfdd(full, composer)
         with timer.phase("P3"):
             ports = sorted(topology.ports)
-            mapping = packet_state_mapping(xfdd, ports, ports)
-        xfdd_stats = {
-            f"xfdd_{name}": value for name, value in composer.cache_stats().items()
-        }
-        return dependencies, xfdd, mapping, xfdd_stats, factory
+            memo = session.mapping_memo if session is not None else None
+            mapping = packet_state_mapping(xfdd, ports, ports, memo=memo)
+        stats = dict(composer.cache_stats())
+        if session is not None:
+            counters = (
+                "cache_hits", "cache_misses",
+                "leaf_hits", "leaf_misses",
+                "branch_hits", "branch_misses",
+            )
+            for name in counters:
+                if name in pre:
+                    stats[name] = stats[name] - pre[name]
+            lookups = stats["cache_hits"] + stats["cache_misses"]
+            stats["cache_hit_rate"] = (
+                stats["cache_hits"] / lookups if lookups else 0.0
+            )
+            memo_post = session.stats()
+            stats["session_memo_hits"] = (
+                memo_post["session_memo_hits"] - memo_pre["session_memo_hits"]
+            )
+            stats["session_memo_misses"] = (
+                memo_post["session_memo_misses"]
+                - memo_pre["session_memo_misses"]
+            )
+            stats["session_memo_entries"] = memo_post["session_memo_entries"]
+            stats["session_compile_no"] = memo_post["session_compile_no"]
+        # Per-unit provenance artifacts (after the counter capture, so
+        # the re-translation below cannot pollute per-compile numbers —
+        # it is apply-cache/memo hits over already-interned nodes).
+        artifacts: dict = {}
+        reused = recompiled = 0
+        for label, unit in split_units(full):
+            if session is not None:
+                was_reused = session.was_reused(unit)
+                sub = session.subdiagram(unit)
+                effects = session.effect_report(unit)
+                unit_slice = session.dep_slicer.slice(unit)
+                edges = unit_slice.edges
+                unit_vars = unit_slice.reads | unit_slice.writes
+            else:
+                was_reused = False
+                sub = to_xfdd(unit, composer)
+                effects = analyze_effects(unit)
+                edges = st_dep(unit)
+                unit_vars = frozenset(state_variables(unit))
+            reused += 1 if was_reused else 0
+            recompiled += 0 if was_reused else 1
+            artifacts[label] = SubPolicyArtifact(
+                fingerprint=fingerprint_hex(unit),
+                label=label,
+                policy=unit,
+                xfdd=sub,
+                dep_edges=edges,
+                state_vars=frozenset(unit_vars),
+                effects=effects,
+                reused=was_reused,
+            )
+        xfdd_stats = {f"xfdd_{name}": value for name, value in stats.items()}
+        return AnalysisResult(
+            dependencies, xfdd, mapping, xfdd_stats, factory,
+            artifacts, reused, recompiled,
+        )
 
-    def _compile_st(self, event: str) -> Snapshot:
-        """Full recompilation: P1-P3, ST solve, finish."""
+    def _solve_key(self, topology: Topology, mapping, dependencies) -> tuple:
+        """Content key over everything the ST solve reads.
+
+        Two compilations with equal keys get byte-identical solutions
+        (the MILP backend is deterministic given identical inputs), so
+        the solve memo and standing-model retention are sound exactly
+        when this key captures every solve input: the effective graph,
+        the traffic matrix, S_uv, the dependency constraints, and the
+        solver options.
+        """
+        return (
+            topology.name,
+            tuple(topology.switches()),
+            tuple(sorted(topology.ports.items())),
+            tuple(sorted(topology.links())),
+            tuple(sorted(self._demands.items())),
+            tuple(
+                sorted(
+                    (pair, tuple(sorted(vars_)))
+                    for pair, vars_ in mapping.items()
+                )
+            ),
+            tuple(sorted(map(tuple, map(sorted, dependencies.tied)))),
+            tuple(sorted(dependencies.dep)),
+            tuple(sorted(dependencies.state_rank.items())),
+            self._options.stateful_switches,
+            self._options.solver_time_limit,
+            self._options.mip_rel_gap,
+        )
+
+    def _compile_st(self, event: str, incremental: bool = True) -> Snapshot:
+        """Full recompilation: P1-P3, ST solve (or memo hit), finish."""
         timer = PhaseTimer()
         topology = self.effective_topology()
-        deps, xfdd, mapping, xfdd_stats, factory = self._analysis(
-            self._program, topology, timer
+        use_incremental = incremental and self._session is not None
+        session = self._session if use_incremental else None
+        analysis = self._analysis(self._program, topology, timer, session=session)
+        solve_key = None
+        cached = None
+        if use_incremental:
+            solve_key = self._solve_key(
+                topology, analysis.mapping, analysis.dependencies
+            )
+            cached = self._solve_memo.get(solve_key)
+        if cached is not None:
+            # Nothing the MILP sees changed: reuse the recorded solution
+            # (deterministic solver — recompute would be byte-identical).
+            # P4/P5 are entered so the snapshot's phase set still follows
+            # Table 4; they record ~0, which is the honest cost.
+            solution, routing, solve_stats = cached
+            with timer.phase("P4"):
+                pass
+            with timer.phase("P5"):
+                pass
+            self._solve_memo.move_to_end(solve_key)
+        else:
+            solution, routing, solve_stats = self._backend.solve_st(
+                topology,
+                self._demands,
+                analysis.mapping,
+                analysis.dependencies,
+                self._options.stateful_switches,
+                timer,
+                time_limit=self._options.solver_time_limit,
+                mip_rel_gap=self._options.mip_rel_gap,
+            )
+        # The standing TE model is fixed to a placement; it survives this
+        # recompilation only when the solve inputs (hence the placement)
+        # are provably unchanged.
+        if solve_key is None or solve_key != self._last_solve_key:
+            self._invalidate_te()
+        self._last_solve_key = solve_key
+        stats = {
+            **solve_stats,
+            **analysis.stats,
+            "incremental": use_incremental,
+            "incremental_reused": analysis.reused,
+            "incremental_recompiled": analysis.recompiled,
+            "solve_reused": cached is not None,
+        }
+        snapshot = self._finish(
+            topology, self._program, analysis.dependencies, analysis.xfdd,
+            analysis.mapping, solution, routing, timer, event, stats,
+            analysis.factory, artifacts=analysis.artifacts,
         )
-        solution, routing, stats = self._backend.solve_st(
-            topology,
-            self._demands,
-            mapping,
-            deps,
-            self._options.stateful_switches,
-            timer,
-            time_limit=self._options.solver_time_limit,
-            mip_rel_gap=self._options.mip_rel_gap,
-        )
-        # The placement may have moved: the standing TE model (fixed to
-        # the old placement) is meaningless now.
-        self._invalidate_te()
-        return self._finish(
-            topology, self._program, deps, xfdd, mapping, solution, routing,
-            timer, event, {**stats, **xfdd_stats}, factory,
-        )
+        if use_incremental and cached is None:
+            self._solve_memo[solve_key] = (solution, routing, dict(solve_stats))
+            while len(self._solve_memo) > SOLVE_MEMO_CAP:
+                self._solve_memo.popitem(last=False)
+        return snapshot
 
     def _reoptimize(self, event: str, demands_changed: bool = False) -> Snapshot:
         """TE re-solve against the standing model (built on first need)."""
@@ -435,11 +658,12 @@ class SnapController:
             event,
             {},
             previous.diagram_factory,
+            artifacts=previous.artifacts,
         )
 
     def _finish(
         self, topology, program, dependencies, xfdd, mapping, solution,
-        routing, timer, event, stats, diagram_factory,
+        routing, timer, event, stats, diagram_factory, artifacts=None,
     ) -> Snapshot:
         """P6 + snapshot construction + live-network hot swap.
 
@@ -457,8 +681,13 @@ class SnapController:
         # classification + race findings) — the merge-safety oracle for
         # replication/sharding consumers; the AST walk is microseconds,
         # so re-deriving it on reoptimize paths (which pass stats={}) is
-        # cheaper than threading it through every caller.
-        stats = {**stats, "effects": analyze_effects(program.policy)}
+        # cheaper than threading it through every caller.  The session
+        # memoizes it by fingerprint across generations.
+        if self._session is not None:
+            effects = self._session.effect_report(program.policy)
+        else:
+            effects = analyze_effects(program.policy)
+        stats = {**stats, "effects": effects}
         self._generation += 1
         snapshot = Snapshot(
             generation=self._generation,
@@ -476,6 +705,7 @@ class SnapController:
             timer=timer,
             rules=rules,
             model_stats=stats,
+            artifacts=artifacts if artifacts is not None else {},
             diagram_factory=diagram_factory,
         )
         self._current = snapshot

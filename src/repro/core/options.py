@@ -55,6 +55,16 @@ class CompilerOptions:
     #: force every unshardable variable back onto its serialized owner
     #: lane.
     replicate_state: bool = True
+    #: Whether the session keeps its compilation caches across
+    #: generations: the hash-consing factory and apply-cache, the
+    #: fingerprint-keyed sub-xFDD memo (subtree splicing), the
+    #: dependency slicer, the path-summary memo, and the content-keyed
+    #: ST-solve memo.  On by default — results are identical to a cold
+    #: compile (the equivalence property in the test suite asserts it);
+    #: set ``False`` to force every ``update_policy`` down the from-
+    #: scratch path (``update_policy(..., incremental=False)`` does the
+    #: same for a single event).
+    incremental: bool = True
     #: How many snapshots ``SnapController.history()`` retains (oldest
     #: evicted first; ``current`` is always kept).  Each snapshot pins
     #: its xFDD and hash-consing factory, so an unbounded history would

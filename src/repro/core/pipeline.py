@@ -84,9 +84,7 @@ class Compiler:
     def topology(self, topology: Topology) -> None:
         # Legacy callers assigned and then ran a scenario; replacing the
         # base graph invalidates the standing model and failure set.
-        self._controller._topology = topology
-        self._controller._failed = frozenset()
-        self._controller._invalidate_te()
+        self._controller.replace_topology(topology)
 
     @property
     def program(self) -> Program:
@@ -94,7 +92,10 @@ class Compiler:
 
     @program.setter
     def program(self, program: Program) -> None:
-        self._controller._program = program
+        # Routed through the controller mutator so the standing TE model
+        # and solve-retention key are invalidated (assigning `_program`
+        # directly left them stale).
+        self._controller.replace_program(program)
 
     @property
     def demands(self) -> dict:

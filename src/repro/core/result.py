@@ -77,6 +77,11 @@ class Snapshot:
     #: data planes built from this snapshot reuse them, not rebuild).
     rules: Any = None
     model_stats: Mapping = field(default_factory=dict)
+    #: Per-subpolicy provenance: label -> :class:`~repro.core.artifacts.
+    #: SubPolicyArtifact` (fingerprint, sub-xFDD, dependency slice,
+    #: effect report, reused/recompiled flag).  Empty for TE events,
+    #: which reuse the previous compilation's artifacts wholesale.
+    artifacts: Mapping = field(default_factory=dict)
     #: The hash-consing session that built ``xfdd`` (None for scenarios
     #: that reuse a previous compilation's diagram).
     diagram_factory: DiagramFactory | None = None
@@ -85,7 +90,7 @@ class Snapshot:
         # Mapping-typed fields are defensively copied and exposed through
         # read-only proxies: a snapshot's contents cannot drift even if
         # the caller still holds the dict it passed in.
-        for name in ("demands", "placement", "model_stats"):
+        for name in ("demands", "placement", "model_stats", "artifacts"):
             object.__setattr__(
                 self, name, MappingProxyType(dict(getattr(self, name)))
             )

@@ -36,16 +36,20 @@ from repro.util.ipaddr import IPPrefix
 def _slot_reduce(node):
     """Pickle support for the immutable AST nodes.
 
-    Every node's ``__init__`` takes exactly its ``__slots__`` in order (and
-    re-coercing an already-built sub-node is the identity), so rebuilding
-    through the constructor round-trips — the default slot-state protocol
-    would instead trip over the ``__setattr__`` immutability guards.
+    Every node's ``__init__`` takes exactly its *public* ``__slots__`` in
+    order (and re-coercing an already-built sub-node is the identity), so
+    rebuilding through the constructor round-trips — the default
+    slot-state protocol would instead trip over the ``__setattr__``
+    immutability guards.  Underscore-prefixed slots are derived caches
+    (the ``_fingerprint`` digest), not constructor arguments; they are
+    skipped and lazily recomputed on the unpickled node.
     """
     cls = type(node)
     args = tuple(
         getattr(node, name)
         for klass in cls.__mro__
         for name in getattr(klass, "__slots__", ())
+        if not name.startswith("_")
     )
     return (cls, args)
 
@@ -53,7 +57,10 @@ def _slot_reduce(node):
 class Expr:
     """Base class for index/value expressions (value, field, or vector)."""
 
-    __slots__ = ()
+    # ``_fingerprint`` caches the canonical structural digest computed by
+    # :mod:`repro.lang.fingerprint`; it is derived state, never compared
+    # or pickled.
+    __slots__ = ("_fingerprint",)
 
     __reduce__ = _slot_reduce
 
@@ -168,7 +175,8 @@ def flatten_expr(expr: Expr) -> tuple:
 class Policy:
     """Base class for all SNAP policies."""
 
-    __slots__ = ()
+    # Cached structural digest (see :mod:`repro.lang.fingerprint`).
+    __slots__ = ("_fingerprint",)
 
     __reduce__ = _slot_reduce
 

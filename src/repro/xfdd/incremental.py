@@ -1,0 +1,206 @@
+"""Persistent compile session — incremental delta compilation (ROADMAP).
+
+One :class:`CompileSession` lives on the controller across ``update_policy``
+generations and owns everything whose lifetime used to be one compilation:
+the hash-consing :class:`~repro.xfdd.diagram.DiagramFactory`, the
+:class:`~repro.xfdd.compose.Composer` apply-cache, a fingerprint-keyed memo
+of sub-policy xFDDs, the node-id-keyed path-summary memo for the packet-
+state mapping, a :class:`~repro.analysis.dependency.DependencySlicer`, and
+a fingerprint-keyed effect-report memo.
+
+The xFDD memo is the subtree-splice path: ``build(p)`` translates ``p``
+like :func:`~repro.xfdd.build.to_xfdd` but memoizes every composite
+subtree by its structural fingerprint, so a recompilation after a
+single-app edit replays the unchanged arms as O(1) lookups and only
+composes the dirty subtree (plus the spine above it).
+
+Reuse validity.  A cached sub-diagram's internal branch ordering depends
+on (i) the field registry's ranks and (ii) the absolute ``(rank, var)``
+key of every state variable it tests (see
+:class:`~repro.xfdd.order.TestOrder`).  Each memo entry therefore records
+``tuple(sorted((var, rank)))`` over the subtree's state variables and is
+only served while every one of those variables keeps its *exact* rank;
+a registry change resets the whole session.  This is conservative —
+inserting a new variable shifts ranks and invalidates bystander subtrees
+— but it is sound, and rank-preserving edits (the common case: tweaking
+one app of a composite) reuse everything else.
+
+Session hygiene.  The factory is never ``clear()``-ed (old snapshots pin
+old nodes); a reset allocates a *new* factory and drops every memo, which
+is also the safety valve when the intern table outgrows
+:data:`FACTORY_SIZE_CAP`.  A state-order change rebuilds the Composer
+(fresh apply-cache) on the *same* factory — interning is order-blind, so
+mixing generations of nodes stays sound.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dependency import DependencySlicer
+from repro.analysis.effects import analyze_effects
+from repro.lang import ast
+from repro.lang.ast import state_variables
+from repro.lang.fields import FieldRegistry
+from repro.lang.fingerprint import fingerprint
+from repro.xfdd.build import to_xfdd
+from repro.xfdd.compose import Composer
+from repro.xfdd.diagram import DiagramFactory, XFDD
+from repro.xfdd.order import TestOrder
+
+#: Intern-table size above which ``begin_compile`` resets the session.
+#: A 6-app composite interns a few thousand nodes per generation; the cap
+#: only trips after hundreds of structurally novel generations, bounding
+#: long-controller memory without ever firing in a steady-state workload.
+FACTORY_SIZE_CAP = 400_000
+
+#: Nodes worth memoizing — everything with policy children.  Leaves
+#: translate in O(1) through the factory's intern table anyway.
+_COMPOSITE = (ast.Not, ast.And, ast.Or, ast.Parallel, ast.Seq, ast.If, ast.Atomic)
+
+
+class _MemoEntry:
+    __slots__ = ("xfdd", "ranks", "born")
+
+    def __init__(self, xfdd: XFDD, ranks: tuple, born: int):
+        self.xfdd = xfdd
+        self.ranks = ranks
+        self.born = born
+
+
+class CompileSession:
+    """Cross-generation compilation caches (see module docstring)."""
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop every cache and start a fresh hash-consing session."""
+        self.factory = DiagramFactory()
+        self.composer: Composer | None = None
+        self.dep_slicer = DependencySlicer()
+        #: node-id keyed path summaries for packet_state_mapping; sound
+        #: while self.factory pins the node ids, i.e. until the next reset.
+        self.mapping_memo: dict = {}
+        self._xfdd_memo: dict = {}
+        self._effects_memo: dict = {}
+        self._registry_names: tuple | None = None
+        self._state_rank: dict = {}
+        self._order_sig: tuple | None = None
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.compile_no = 0
+
+    # -- per-compilation setup --------------------------------------------
+
+    def begin_compile(self, registry: FieldRegistry, state_rank: dict) -> Composer:
+        """Bind this generation's test order; return the composer to use.
+
+        Resets the whole session on a field-registry change or when the
+        intern table exceeds :data:`FACTORY_SIZE_CAP`; rebuilds only the
+        Composer (same factory, fresh apply-cache) when the global state
+        order changed; otherwise re-arms a tripped cache bypass and keeps
+        everything.
+        """
+        names = registry.names()
+        if (self._registry_names is not None and names != self._registry_names) or (
+            len(self.factory) > FACTORY_SIZE_CAP
+        ):
+            self.reset()
+        self._registry_names = names
+        self._state_rank = dict(state_rank)
+        sig = tuple(sorted(self._state_rank.items()))
+        if self.composer is None or sig != self._order_sig:
+            order = TestOrder(registry, self._state_rank)
+            self.composer = Composer(order, factory=self.factory)
+        else:
+            self.composer.reset_bypass()
+        self._order_sig = sig
+        self.compile_no += 1
+        return self.composer
+
+    # -- memoized translation ---------------------------------------------
+
+    def build(self, policy: ast.Policy) -> XFDD:
+        """``to_xfdd`` with fingerprint-memoized composite subtrees."""
+        if self.composer is None:
+            raise RuntimeError("begin_compile() must run before build()")
+        return self._build(policy)
+
+    def _build(self, policy: ast.Policy) -> XFDD:
+        if not isinstance(policy, _COMPOSITE):
+            return to_xfdd(policy, self.composer)
+        key = fingerprint(policy)
+        entry = self._xfdd_memo.get(key)
+        if entry is not None and self._ranks_valid(entry.ranks):
+            self.memo_hits += 1
+            return entry.xfdd
+        self.memo_misses += 1
+        diagram = self._compose(policy)
+        ranks = tuple(
+            sorted((v, self._state_rank.get(v)) for v in state_variables(policy))
+        )
+        self._xfdd_memo[key] = _MemoEntry(diagram, ranks, self.compile_no)
+        return diagram
+
+    def _ranks_valid(self, ranks: tuple) -> bool:
+        rank = self._state_rank
+        return all(rank.get(var) == r for var, r in ranks)
+
+    def _compose(self, policy: ast.Policy) -> XFDD:
+        # Mirrors to_xfdd's composite cases, recursing through _build so
+        # every composite child gets its own memo entry.
+        composer = self.composer
+        if isinstance(policy, ast.Not):
+            return composer.negate(self._build(policy.pred))
+        if isinstance(policy, (ast.Or, ast.Parallel)):
+            return composer.union(
+                self._build(policy.left), self._build(policy.right)
+            )
+        if isinstance(policy, (ast.And, ast.Seq)):
+            return composer.sequence(
+                self._build(policy.left), self._build(policy.right)
+            )
+        if isinstance(policy, ast.If):
+            guard = self._build(policy.pred)
+            then_d = composer.sequence(guard, self._build(policy.then))
+            else_d = composer.sequence(
+                composer.negate(guard), self._build(policy.orelse)
+            )
+            return composer.union(then_d, else_d)
+        # Atomic: translation ignores the wrapper (Figure 6).
+        return self._build(policy.body)
+
+    # -- provenance --------------------------------------------------------
+
+    def was_reused(self, policy: ast.Policy) -> bool:
+        """True when ``policy``'s diagram was spliced from an earlier
+        generation (entry born before this ``begin_compile``)."""
+        if not isinstance(policy, _COMPOSITE):
+            return False
+        entry = self._xfdd_memo.get(fingerprint(policy))
+        return entry is not None and entry.born < self.compile_no
+
+    def subdiagram(self, policy: ast.Policy) -> XFDD:
+        """The diagram recorded for ``policy``, without touching counters
+        (for artifact recording after the main build)."""
+        if isinstance(policy, _COMPOSITE):
+            entry = self._xfdd_memo.get(fingerprint(policy))
+            if entry is not None:
+                return entry.xfdd
+        return to_xfdd(policy, self.composer)
+
+    def effect_report(self, policy: ast.Policy):
+        """Fingerprint-memoized :func:`~repro.analysis.effects.analyze_effects`."""
+        key = fingerprint(policy)
+        report = self._effects_memo.get(key)
+        if report is None:
+            report = analyze_effects(policy)
+            self._effects_memo[key] = report
+        return report
+
+    def stats(self) -> dict:
+        return {
+            "session_memo_hits": self.memo_hits,
+            "session_memo_misses": self.memo_misses,
+            "session_memo_entries": len(self._xfdd_memo),
+            "session_compile_no": self.compile_no,
+        }
