@@ -47,11 +47,22 @@ import socket
 import subprocess
 import sys
 import threading
+import time
 from collections import deque
 from pathlib import Path
 
 from repro.cluster import protocol as wire
 from repro.cluster.protocol import ClusterError, ProtocolError, TransportError
+from repro.obs.metrics import counter, histogram
+
+_HEARTBEAT_SECONDS = histogram(
+    "snap_cluster_heartbeat_seconds",
+    "Round-trip time of coordinator-to-worker heartbeat pings",
+)
+_REQUEUES_TOTAL = counter(
+    "snap_cluster_requeues_total",
+    "Jobs requeued onto surviving workers after worker loss",
+)
 
 #: Seconds to wait for a spawned daemon's banner line.
 SPAWN_TIMEOUT = 60.0
@@ -182,11 +193,17 @@ class WorkerHandle:
 
     def ping(self) -> bool:
         """Heartbeat: is the daemon alive and speaking our protocol?"""
+        start = time.perf_counter()
         try:
             reply_type, _ = self.request(wire.PING, {}, timeout=PING_TIMEOUT)
-            return reply_type == wire.PONG
         except (TransportError, ProtocolError):
             return False
+        if reply_type == wire.PONG:
+            _HEARTBEAT_SECONDS.labels(worker=self.address).observe(
+                time.perf_counter() - start
+            )
+            return True
+        return False
 
     def abandon(self) -> None:
         """Drop a dead worker: close the socket, reap an owned process."""
@@ -406,6 +423,7 @@ class ClusterCoordinator:
                 # Worker loss: abandon it and requeue the job for the
                 # survivors.
                 handle.abandon()
+                _REQUEUES_TOTAL.labels(worker=handle.address).inc()
                 with lock:
                     self.stats["requeues"] += 1
                     if job.attempts >= max_attempts:

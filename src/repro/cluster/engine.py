@@ -55,6 +55,9 @@ from repro.dataplane.network import (
     exec_network_spec,
     exec_program_spec,
 )
+from repro.obs import postcards
+from repro.obs.runstats import RunStats
+from repro.obs.tracing import TRACER
 from repro.workloads.obs_engine import BatchedObsEngine, register_obs_engine
 
 
@@ -104,16 +107,22 @@ class ClusterEngine:
 
     def run(self, network: Network, arrivals) -> list:
         arrivals = list(arrivals)
+        with TRACER.span(
+            "engine.run", engine=self.name, packets=len(arrivals)
+        ) as run_span:
+            return self._run(network, arrivals, run_span)
+
+    def _run(self, network: Network, arrivals: list, run_span) -> list:
         rplan = self.replica_plan(network)
         plan = rplan.plan
         batches = _split_batches(plan, arrivals)
         if len(batches) <= 1:
             # Zero or one lane: the wire buys no parallelism — run
             # inline with identical semantics, spawn nothing.
-            self.last_run_stats = {
-                "workers": 0, "lanes": len(batches), "program_bytes": 0,
-                "network_bytes": 0, "payload_bytes": 0, "requeues": 0,
-            }
+            self.last_run_stats = RunStats(
+                workers=0, lanes=len(batches), program_bytes=0,
+                network_bytes=0, payload_bytes=0, requeues=0,
+            )
             return self._inline_engine().run(network, arrivals)
         refresh_exec_keys(network)
         program_key = network._exec_program_key
@@ -168,6 +177,16 @@ class ClusterEngine:
 
         replicate = bool(rplan.replicated)
         epoch = replication.next_epoch(network) if replicate else 0
+        run_span.set_attr("lanes", len(batches))
+        sampler = postcards.active_sampler()
+        telemetry = None
+        if TRACER.enabled or sampler is not None:
+            # v3 wire field: the daemon parents its shard span under this
+            # context and ships its spans/postcards back in the RESULT.
+            telemetry = {
+                "trace": run_span.context(),
+                "postcard_every": sampler.every if sampler else 0,
+            }
         jobs = []
         for shard_index, batch in batches:
             shard = plan.shards[shard_index]
@@ -190,6 +209,7 @@ class ClusterEngine:
                 ),
                 "batch": batch,
                 "lane": self.lane,
+                "telemetry": telemetry,
             }
             jobs.append(Job(shard_index, wire.RUN_SHARD, payload))
         results, errors = coordinator.run_jobs(jobs, ensure=ensure)
@@ -208,6 +228,9 @@ class ClusterEngine:
                     network, rplan.replicated, log, epoch
                 )
                 log_entries += replication.log_entries(log)
+            if telemetry is not None:
+                TRACER.adopt(payload.get("spans"))
+                postcards.adopt(payload.get("postcards"))
             outcomes.append((payload["records"], payload["links"]))
         merged = _merge_lane_outcomes(
             network, outcomes, len(arrivals), complete=not errors
@@ -216,16 +239,20 @@ class ClusterEngine:
             key: coordinator.stats[key] - stats_before.get(key, 0)
             for key in coordinator.stats
         }
-        self.last_run_stats = {
-            "workers": coordinator.worker_count(),
-            "lanes": len(batches),
-            "program_bytes": delta["program_bytes"],
-            "network_bytes": delta["network_bytes"],
-            "payload_bytes": delta["payload_bytes"],
-            "requeues": delta["requeues"],
-            "replicated_vars": sorted(rplan.replicated),
-            "replica_log_entries": log_entries,
-        }
+        stats = RunStats(
+            workers=coordinator.worker_count(),
+            lanes=len(batches),
+            program_bytes=delta["program_bytes"],
+            network_bytes=delta["network_bytes"],
+            payload_bytes=delta["payload_bytes"],
+            requeues=delta["requeues"],
+            replicated_vars=sorted(rplan.replicated),
+            replica_log_entries=log_entries,
+        )
+        self.last_run_stats = stats
+        stats.publish(self.name, packets=len(arrivals))
+        run_span.set_attr("payload_bytes", delta["payload_bytes"])
+        run_span.set_attr("requeues", delta["requeues"])
         if errors:
             if not coordinator.alive_workers():
                 # Total capacity loss: discard the dead cluster so the

@@ -64,11 +64,27 @@ import pickle
 import struct
 
 from repro.lang.errors import DataPlaneError
+from repro.obs.metrics import counter
 
 #: Protocol version — bump on any frame or message change.
 #: v2: RUN_SHARD carries an optional state-compute ``replica`` spec and
 #: RESULT returns the matching ``replica_log`` (see the table above).
-PROTOCOL_VERSION = 2
+#: v3: RUN_SHARD carries an optional ``telemetry`` dict (``trace``: the
+#: coordinator's span context to parent worker spans under, and
+#: ``postcard_every``: the packet-sampling stride) and RESULT returns
+#: the matching ``spans`` and ``postcards`` lists recorded while the
+#: shard ran (absent/None when no telemetry was sent).
+PROTOCOL_VERSION = 3
+
+#: Frame/byte counters by direction ("sent"/"received") — every frame
+#: either side moves is counted here, including heartbeats.
+_FRAMES_TOTAL = counter(
+    "snap_cluster_frames_total", "Cluster wire frames moved, by direction"
+)
+_BYTES_TOTAL = counter(
+    "snap_cluster_bytes_total",
+    "Cluster wire payload bytes moved, by direction",
+)
 
 #: Frame magic ("SNAP cluster wire").
 FRAME_MAGIC = b"SNCW"
@@ -125,6 +141,8 @@ def send_message(sock, message_type: str, payload=None) -> int:
         sock.sendall(header + body)
     except OSError as exc:
         raise TransportError(f"send failed: {exc}") from exc
+    _FRAMES_TOTAL.labels(direction="sent").inc()
+    _BYTES_TOTAL.labels(direction="sent").inc(len(body))
     return len(body)
 
 
@@ -159,4 +177,6 @@ def recv_message(sock):
             f"refusing a {length}-byte frame (limit {MAX_FRAME_BYTES})"
         )
     message_type, payload = pickle.loads(_recv_exact(sock, length))
+    _FRAMES_TOTAL.labels(direction="received").inc()
+    _BYTES_TOTAL.labels(direction="received").inc(length)
     return message_type, payload

@@ -219,7 +219,31 @@ class WorkerDaemon:
                     ),
                     payload["batch"],
                 )
-                records, links = lane.run()
+                telemetry = payload.get("telemetry")
+                if telemetry is None:
+                    records, links = lane.run()
+                    job_spans = job_cards = None
+                else:
+                    # One job per connection at a time, so the capture
+                    # windows slice out exactly this shard's spans and
+                    # postcards; the span parents under the
+                    # coordinator's wire-shipped trace context.
+                    from repro.obs import postcards
+                    from repro.obs.tracing import TRACER
+
+                    with TRACER.capture() as job_spans, \
+                            postcards.capture() as job_cards, \
+                            postcards.sampling(
+                                telemetry.get("postcard_every", 0)
+                            ):
+                        with TRACER.span(
+                            "worker.run_shard",
+                            parent=telemetry.get("trace"),
+                            batch=len(payload["batch"]),
+                            worker=os.getpid(),
+                            lane=payload.get("lane") or "scalar",
+                        ):
+                            records, links = lane.run()
                 state = network.extract_shard_state(payload["variables"])
                 replica_log = None
                 replica_spec = payload.get("replica")
@@ -243,6 +267,7 @@ class WorkerDaemon:
                 wire.send_message(conn, wire.RESULT, {
                     "records": records, "links": links, "state": state,
                     "replica_log": replica_log,
+                    "spans": job_spans, "postcards": job_cards,
                 })
             finally:
                 self._active -= 1
@@ -304,6 +329,17 @@ def main(argv=None) -> None:
         help="exit when the spawning parent process dies",
     )
     args = parser.parse_args(argv)
+    # Daemons inherit the coordinator's environment, including any
+    # SNAP_TELEMETRY_FILE: drop the snapshot path so a daemon's atexit
+    # flush can never clobber the coordinator's snapshot.  Telemetry
+    # itself stays on — spans/postcards ride back over the wire.
+    import dataclasses
+
+    from repro import obs
+
+    obs.configure(
+        dataclasses.replace(obs.resolve_config(None), snapshot_path=None)
+    )
     host, _, port = args.listen.rpartition(":")
     daemon = WorkerDaemon(
         host or "127.0.0.1", int(port or 0), orphan_exit=args.orphan_exit

@@ -64,6 +64,9 @@ from repro.milp.backends import get_backend
 from repro.milp.results import extract_paths, validate_solution
 from repro.topology.graph import Topology
 from repro.topology.traffic import gravity_traffic_matrix
+from repro.obs import configure as _configure_telemetry
+from repro.obs.metrics import counter, gauge
+from repro.obs.tracing import TRACER
 from repro.util.timer import PhaseTimer
 from repro.xfdd.build import to_xfdd
 from repro.xfdd.compose import Composer
@@ -75,6 +78,14 @@ from repro.xfdd.order import TestOrder
 #: and routing (small), and real event streams alternate among a handful
 #: of placements (A/B policy flips, threshold sweeps).
 SOLVE_MEMO_CAP = 32
+
+_CONTROLLER_EVENTS = counter(
+    "snap_controller_events_total",
+    "Controller events processed, by event kind",
+)
+_GENERATION = gauge(
+    "snap_controller_generation", "Generation of the latest snapshot"
+)
 
 
 def _norm_link(a, b=None):
@@ -113,6 +124,11 @@ class SnapController:
         elif overrides:
             options = replace(options, **overrides)
         self._options = options
+        if options.telemetry is not None:
+            # Session-scoped telemetry override: applied process-wide
+            # (the registry and tracer are shared), same as calling
+            # repro.obs.configure() before constructing the session.
+            _configure_telemetry(options.telemetry)
         self._backend = get_backend(options.solver)
         self._topology = topology
         self._program = program
@@ -556,6 +572,21 @@ class SnapController:
 
     def _compile_st(self, event: str, incremental: bool = True) -> Snapshot:
         """Full recompilation: P1-P3, ST solve (or memo hit), finish."""
+        with TRACER.span(f"controller.{event}", event=event) as span:
+            snapshot = self._compile_st_traced(event, incremental)
+            stats = snapshot.model_stats
+            span.set_attr("generation", snapshot.generation)
+            span.set_attr("incremental", stats.get("incremental"))
+            span.set_attr(
+                "incremental_reused", stats.get("incremental_reused")
+            )
+            span.set_attr(
+                "incremental_recompiled", stats.get("incremental_recompiled")
+            )
+            span.set_attr("solve_reused", stats.get("solve_reused"))
+            return snapshot
+
+    def _compile_st_traced(self, event: str, incremental: bool) -> Snapshot:
         timer = PhaseTimer()
         topology = self.effective_topology()
         use_incremental = incremental and self._session is not None
@@ -617,6 +648,12 @@ class SnapController:
 
     def _reoptimize(self, event: str, demands_changed: bool = False) -> Snapshot:
         """TE re-solve against the standing model (built on first need)."""
+        with TRACER.span(f"controller.{event}", event=event) as span:
+            snapshot = self._reoptimize_traced(event, demands_changed)
+            span.set_attr("generation", snapshot.generation)
+            return snapshot
+
+    def _reoptimize_traced(self, event: str, demands_changed: bool) -> Snapshot:
         previous = self._current
         timer = PhaseTimer()
         with timer.phase("P5"):
@@ -689,6 +726,8 @@ class SnapController:
             effects = analyze_effects(program.policy)
         stats = {**stats, "effects": effects}
         self._generation += 1
+        _CONTROLLER_EVENTS.labels(event=event).inc()
+        _GENERATION.set(self._generation)
         snapshot = Snapshot(
             generation=self._generation,
             event=event,

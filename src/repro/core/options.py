@@ -71,8 +71,22 @@ class CompilerOptions:
     #: grow a long-lived session's memory linearly with event count.
     #: ``None`` retains everything.
     history_limit: int | None = 16
+    #: Telemetry for this session: ``None`` (leave the process-wide
+    #: configuration alone — i.e. the ``SNAP_TELEMETRY*`` environment
+    #: defaults), a bool or ``"on"``/``"off"``, or a full
+    #: :class:`repro.obs.TelemetryConfig`.  Anything non-``None`` is
+    #: applied process-wide when the controller starts.
+    telemetry: object = None
 
     def __post_init__(self):
+        if self.telemetry is not None:
+            from repro.obs import resolve_config
+
+            # Validate eagerly (and normalize strings/bools) so a typo
+            # fails at options construction, not mid-compile.
+            object.__setattr__(
+                self, "telemetry", resolve_config(self.telemetry)
+            )
         if self.stateful_switches is not None and not isinstance(
             self.stateful_switches, tuple
         ):

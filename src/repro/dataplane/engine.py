@@ -99,6 +99,9 @@ from repro.dataplane.network import (
 )
 from repro.lang.errors import DataPlaneError
 from repro.lang.packet import Packet
+from repro.obs import postcards
+from repro.obs.runstats import RunStats
+from repro.obs.tracing import TRACER
 from repro.util.registry import EngineRegistry
 from repro.xfdd.diagram import iter_paths
 
@@ -431,6 +434,23 @@ def _raise_lane_failure(plan: ShardPlan, shard_index: int, exc: Exception):
     ) from exc
 
 
+def _lane_span_runner(runner, parent, shard_index: int, batch_size: int,
+                      replicated: bool):
+    """Wrap a lane runner in an ``engine.lane`` span.
+
+    Lane runners execute on pool threads where the tracer's thread-local
+    stack is empty, so the engine's run span is passed as the explicit
+    parent — spans from every lane stitch into one trace.
+    """
+    def run():
+        with TRACER.span(
+            "engine.lane", parent=parent, shard=shard_index,
+            batch=batch_size, replicated=replicated,
+        ):
+            return runner()
+    return run
+
+
 class SequentialEngine:
     """Run-to-completion in arrival order — delegates to ``inject_many``."""
 
@@ -438,7 +458,24 @@ class SequentialEngine:
 
     def run(self, network: Network, arrivals) -> list:
         """One record list per injected packet, in arrival order."""
-        return network.inject_many(arrivals)
+        sampler = postcards.active_sampler()
+        if sampler is None:
+            return network.inject_many(arrivals)
+        # Postcard sampling: sampled packets run the generic traced walk
+        # (identical opcode effects and deliveries — see
+        # repro.obs.postcards); the rest take the normal path.
+        results: list = []
+        deliveries = network.deliveries
+        run = network._run
+        new_arrivals = network._new_arrivals
+        for index, (packet, port) in enumerate(arrivals):
+            if sampler.should(index):
+                records = postcards.run_traced(network, packet, port, index)
+            else:
+                records = run(new_arrivals(packet, port))
+            deliveries.extend(records)
+            results.append(records)
+        return results
 
     def __repr__(self):
         return "SequentialEngine()"
@@ -479,87 +516,101 @@ class ShardedEngine:
         rplan = self.replica_plan(network)
         plan = rplan.plan
         batches = _split_batches(plan, arrivals)
-        stats = {
-            "lanes": len(batches),
-            "parallelism": plan.parallelism,
-            "collapse_reasons": dict(plan.collapse_reasons),
-            "replicated_vars": sorted(rplan.replicated),
-            "replica_reasons": dict(rplan.replica_reasons),
-        }
+        stats = RunStats(
+            lanes=len(batches),
+            parallelism=plan.parallelism,
+            collapse_reasons=dict(plan.collapse_reasons),
+            replicated_vars=sorted(rplan.replicated),
+            replica_reasons=dict(rplan.replica_reasons),
+        )
         self.last_run_stats = stats
         replicate = bool(rplan.replicated)
         epoch = replication.next_epoch(network) if replicate else 0
-        lanes = []
-        for shard_index, batch in batches:
-            lane_vars = replication.lane_replicas(rplan, batch) \
-                if replicate else {}
-            if lane_vars:
-                runner = replication.replica_runner(
-                    network, rplan, shard_index, batch, lane_vars, epoch,
-                    self._make_lane,
-                )
+        with TRACER.span(
+            "engine.run", engine=self.name, lanes=len(batches),
+            parallelism=plan.parallelism, packets=len(arrivals),
+        ) as run_span:
+            lanes = []
+            for shard_index, batch in batches:
+                lane_vars = replication.lane_replicas(rplan, batch) \
+                    if replicate else {}
+                if lane_vars:
+                    runner = replication.replica_runner(
+                        network, rplan, shard_index, batch, lane_vars, epoch,
+                        self._make_lane,
+                    )
+                else:
+                    lane = self._make_lane(
+                        network, plan.shards[shard_index], batch
+                    )
+                    runner = lane.run
+                if TRACER.enabled:
+                    # Lanes run on pool threads, which cannot inherit the
+                    # thread-local parent: pass the run span explicitly.
+                    runner = _lane_span_runner(
+                        runner, run_span, shard_index, len(batch),
+                        bool(lane_vars),
+                    )
+                lanes.append((shard_index, runner))
+            workers = self.max_workers or os.cpu_count() or 1
+            workers = min(workers, len(lanes))
+            outcomes: list = []
+            merges: list = []
+            failure = None
+            if workers > 1:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        (shard_index, pool.submit(runner))
+                        for shard_index, runner in lanes
+                    ]
+                    for shard_index, future in futures:
+                        try:
+                            result = future.result()
+                        except Exception as exc:
+                            if failure is None:
+                                failure = (shard_index, exc)
+                            continue
+                        outcomes.append(result[:2])
+                        if len(result) > 2:
+                            merges.append(result[2:])
             else:
-                lane = self._make_lane(
-                    network, plan.shards[shard_index], batch
-                )
-                runner = lane.run
-            lanes.append((shard_index, runner))
-        workers = self.max_workers or os.cpu_count() or 1
-        workers = min(workers, len(lanes))
-        outcomes: list = []
-        merges: list = []
-        failure = None
-        if workers > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    (shard_index, pool.submit(runner))
-                    for shard_index, runner in lanes
-                ]
-                for shard_index, future in futures:
+                # Inline: lanes run serially in shard order; a failure stops
+                # the later lanes from ever starting.
+                for shard_index, runner in lanes:
                     try:
-                        result = future.result()
+                        result = runner()
                     except Exception as exc:
-                        if failure is None:
-                            failure = (shard_index, exc)
-                        continue
+                        failure = (shard_index, exc)
+                        break
                     outcomes.append(result[:2])
                     if len(result) > 2:
                         merges.append(result[2:])
-        else:
-            # Inline: lanes run serially in shard order; a failure stops
-            # the later lanes from ever starting.
-            for shard_index, runner in lanes:
-                try:
-                    result = runner()
-                except Exception as exc:
-                    failure = (shard_index, exc)
-                    break
-                outcomes.append(result[:2])
-                if len(result) > 2:
-                    merges.append(result[2:])
-        # Replica merges are deferred until every lane has stopped:
-        # lanes seed from the parent snapshot, so merging mid-run would
-        # double-count.  Completed lanes merge even when another lane
-        # failed — the lane failure contract — and the per-kind merges
-        # commute, so the merge order cannot matter.
-        if merges:
-            log_entries = log_bytes = 0
-            for state, log in merges:
-                replication.merge_state(network, state)
-                replication.apply_replica_log(
-                    network, rplan.replicated, log, epoch
-                )
-                log_entries += replication.log_entries(log)
-                log_bytes += len(
-                    pickle.dumps(log, protocol=pickle.HIGHEST_PROTOCOL)
-                )
-            stats["replica_log_entries"] = log_entries
-            stats["replica_log_bytes"] = log_bytes
-        results = _merge_lane_outcomes(
-            network, outcomes, len(arrivals), complete=failure is None
-        )
-        if failure is not None:
-            _raise_lane_failure(plan, *failure)
+            # Replica merges are deferred until every lane has stopped:
+            # lanes seed from the parent snapshot, so merging mid-run would
+            # double-count.  Completed lanes merge even when another lane
+            # failed — the lane failure contract — and the per-kind merges
+            # commute, so the merge order cannot matter.
+            if merges:
+                log_entries = log_bytes = 0
+                for state, log in merges:
+                    replication.merge_state(network, state)
+                    replication.apply_replica_log(
+                        network, rplan.replicated, log, epoch
+                    )
+                    log_entries += replication.log_entries(log)
+                    log_bytes += len(
+                        pickle.dumps(log, protocol=pickle.HIGHEST_PROTOCOL)
+                    )
+                stats.replica_log_entries = log_entries
+                stats.replica_log_bytes = log_bytes
+                run_span.set_attr("replica_log_bytes", log_bytes)
+            results = _merge_lane_outcomes(
+                network, outcomes, len(arrivals), complete=failure is None
+            )
+            stats.publish(self.name, packets=len(arrivals))
+            if failure is not None:
+                run_span.set_attr("failed_shard", failure[0])
+                _raise_lane_failure(plan, *failure)
         return results
 
     def plan_for(self, network: Network) -> ShardPlan:
@@ -640,12 +691,12 @@ class ProcessPoolEngine:
             # process buys no parallelism — run inline with identical
             # semantics (state mutated in place, exactly like a
             # completed worker merge).
-            self.last_run_stats = {
-                "lanes": len(batches), "state_bytes": 0, "spec_bytes": 0,
-                "collapse_reasons": dict(plan.collapse_reasons),
-                "replicated_vars": sorted(rplan.replicated),
-                "replica_reasons": dict(rplan.replica_reasons),
-            }
+            self.last_run_stats = RunStats(
+                lanes=len(batches), state_bytes=0, spec_bytes=0,
+                collapse_reasons=dict(plan.collapse_reasons),
+                replicated_vars=sorted(rplan.replicated),
+                replica_reasons=dict(rplan.replica_reasons),
+            )
             inline = ShardedEngine(
                 max_workers=1, replicate_state=self.replicate_state
             )
@@ -657,92 +708,110 @@ class ProcessPoolEngine:
         pool = self._ensure_pool(workers)
         replicate = bool(rplan.replicated)
         epoch = replication.next_epoch(network) if replicate else 0
-        futures = []
-        state_bytes = 0
-        try:
-            for shard_index, batch in batches:
-                shard = plan.shards[shard_index]
-                variables = batch_footprint(plan, batch)
-                lane_vars = replication.lane_replicas(rplan, batch) \
-                    if replicate else {}
-                replica_spec = (
-                    replication.wire_spec(lane_vars, epoch)
-                    if lane_vars else None
-                )
-                # Pre-pickled once: the worker unpickles this blob, so
-                # the byte accounting below is free instead of a second
-                # serialization of the same tables.  Replica seeds ride
-                # in the same slice; the worker diffs against them.
-                state_blob = pickle.dumps(
-                    network.extract_shard_state(
-                        set(variables) | set(lane_vars)
-                    ),
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                )
-                state_bytes += len(state_blob)
-                payload = (
-                    program_key,
-                    network_key,
-                    spec_bytes,
-                    shard.ports,
-                    tuple(sorted(variables)),
-                    replica_spec,
-                    state_blob,
-                    batch,
-                )
-                futures.append(
-                    (shard_index, pool.submit(_process_lane, payload))
-                )
-        except BrokenProcessPool as exc:
-            # The pool died between runs (a worker was killed): discard
-            # it so the next run starts fresh, then surface the error.
-            self.close()
-            raise DataPlaneError(
-                f"process-pool engine lost its workers: {exc}"
-            ) from exc
-        self.last_run_stats = {
-            "lanes": len(batches),
-            "state_bytes": state_bytes,
-            # A worker cannot be targeted, so every task carries the spec.
-            "spec_bytes": len(spec_bytes) * len(batches),
-            "collapse_reasons": dict(plan.collapse_reasons),
-            "replicated_vars": sorted(rplan.replicated),
-            "replica_reasons": dict(rplan.replica_reasons),
-        }
-        outcomes: list = []
-        failure = None
-        log_entries = log_bytes = 0
-        for shard_index, future in futures:
+        with TRACER.span(
+            "engine.run", engine=self.name, lanes=len(batches),
+            packets=len(arrivals),
+        ) as run_span:
+            sampler = postcards.active_sampler()
+            telemetry = None
+            if TRACER.enabled or sampler is not None:
+                telemetry = {
+                    "trace": run_span.context(),
+                    "postcard_every": sampler.every if sampler else 0,
+                }
+            futures = []
+            state_bytes = 0
             try:
-                records, links, state, log = future.result()
-            except Exception as exc:
-                if failure is None:
-                    failure = (shard_index, exc)
-                continue
-            # Safe to merge while later lanes still run: every lane's
-            # seed was extracted and pickled before the first merge.
-            network.merge_shard_state(state)
-            if log is not None:
-                replication.apply_replica_log(
-                    network, rplan.replicated, log, epoch
-                )
-                log_entries += replication.log_entries(log)
-                log_bytes += len(
-                    pickle.dumps(log, protocol=pickle.HIGHEST_PROTOCOL)
-                )
-            outcomes.append((records, links))
-        if replicate:
-            self.last_run_stats["replica_log_entries"] = log_entries
-            self.last_run_stats["replica_log_bytes"] = log_bytes
-        if failure is not None and isinstance(failure[1], BrokenProcessPool):
-            # A worker crashed mid-batch: the executor is permanently
-            # broken — release it so the next run recreates the pool.
-            self.close()
-        results = _merge_lane_outcomes(
-            network, outcomes, len(arrivals), complete=failure is None
-        )
-        if failure is not None:
-            _raise_lane_failure(plan, *failure)
+                for shard_index, batch in batches:
+                    shard = plan.shards[shard_index]
+                    variables = batch_footprint(plan, batch)
+                    lane_vars = replication.lane_replicas(rplan, batch) \
+                        if replicate else {}
+                    replica_spec = (
+                        replication.wire_spec(lane_vars, epoch)
+                        if lane_vars else None
+                    )
+                    # Pre-pickled once: the worker unpickles this blob, so
+                    # the byte accounting below is free instead of a second
+                    # serialization of the same tables.  Replica seeds ride
+                    # in the same slice; the worker diffs against them.
+                    state_blob = pickle.dumps(
+                        network.extract_shard_state(
+                            set(variables) | set(lane_vars)
+                        ),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                    state_bytes += len(state_blob)
+                    payload = (
+                        program_key,
+                        network_key,
+                        spec_bytes,
+                        shard.ports,
+                        tuple(sorted(variables)),
+                        replica_spec,
+                        state_blob,
+                        batch,
+                        telemetry,
+                    )
+                    futures.append(
+                        (shard_index, pool.submit(_process_lane, payload))
+                    )
+            except BrokenProcessPool as exc:
+                # The pool died between runs (a worker was killed): discard
+                # it so the next run starts fresh, then surface the error.
+                self.close()
+                raise DataPlaneError(
+                    f"process-pool engine lost its workers: {exc}"
+                ) from exc
+            stats = RunStats(
+                lanes=len(batches),
+                state_bytes=state_bytes,
+                # A worker cannot be targeted, so every task carries the spec.
+                spec_bytes=len(spec_bytes) * len(batches),
+                collapse_reasons=dict(plan.collapse_reasons),
+                replicated_vars=sorted(rplan.replicated),
+                replica_reasons=dict(rplan.replica_reasons),
+            )
+            self.last_run_stats = stats
+            outcomes: list = []
+            failure = None
+            log_entries = log_bytes = 0
+            for shard_index, future in futures:
+                try:
+                    records, links, state, log, lane_obs = future.result()
+                except Exception as exc:
+                    if failure is None:
+                        failure = (shard_index, exc)
+                    continue
+                # Safe to merge while later lanes still run: every lane's
+                # seed was extracted and pickled before the first merge.
+                network.merge_shard_state(state)
+                if log is not None:
+                    replication.apply_replica_log(
+                        network, rplan.replicated, log, epoch
+                    )
+                    log_entries += replication.log_entries(log)
+                    log_bytes += len(
+                        pickle.dumps(log, protocol=pickle.HIGHEST_PROTOCOL)
+                    )
+                if lane_obs is not None:
+                    TRACER.adopt(lane_obs.get("spans"))
+                    postcards.adopt(lane_obs.get("postcards"))
+                outcomes.append((records, links))
+            if replicate:
+                stats.replica_log_entries = log_entries
+                stats.replica_log_bytes = log_bytes
+            if failure is not None and isinstance(failure[1], BrokenProcessPool):
+                # A worker crashed mid-batch: the executor is permanently
+                # broken — release it so the next run recreates the pool.
+                self.close()
+            results = _merge_lane_outcomes(
+                network, outcomes, len(arrivals), complete=failure is None
+            )
+            stats.publish(self.name, packets=len(arrivals))
+            if failure is not None:
+                run_span.set_attr("failed_shard", failure[0])
+                _raise_lane_failure(plan, *failure)
         return results
 
     def plan_for(self, network: Network) -> ShardPlan:
@@ -905,13 +974,31 @@ class _Lane:
         """Returns ``({global_index: [DeliveryRecord]}, {link: count})``."""
         results: dict = {}
         run_packet = self._run_packet
-        for index, packet, port in self.batch:
-            results[index] = run_packet(packet, port)
+        sampler = postcards.active_sampler()
+        traced_links: dict = {}
+        if sampler is None:
+            for index, packet, port in self.batch:
+                results[index] = run_packet(packet, port)
+        else:
+            # Sampled packets take the generic traced walk (identical
+            # records and state effects; link counts land in the local
+            # ``traced_links`` so lanes never race on shared counters).
+            net = self.network
+            should = sampler.should
+            for index, packet, port in self.batch:
+                if should(index):
+                    results[index] = postcards.run_traced(
+                        net, packet, port, index, links=traced_links
+                    )
+                else:
+                    results[index] = run_packet(packet, port)
         links: dict = {}
         segments = self._segments
         for key, count in self._seg_counts.items():
             for link in segments[key][1]:
                 links[link] = links.get(link, 0) + count
+        for link, count in traced_links.items():
+            links[link] = links.get(link, 0) + count
         return results, links
 
     # -- per-packet interpreter -------------------------------------------
@@ -1174,18 +1261,33 @@ def _worker_network(program_key, network_key, spec_bytes: bytes) -> Network:
 def _process_lane(payload: tuple):
     """One shard's batch, executed in a worker process.
 
-    Returns ``(records_by_index, link_counts, shard_state, replica_log)``
-    — the same lane output the thread engine produces, plus the shard's
-    post-run state for the parent to merge and (when the lane carried a
-    replica spec) the update log diffed against the shipped seed.
+    Returns ``(records_by_index, link_counts, shard_state, replica_log,
+    lane_obs)`` — the same lane output the thread engine produces, plus
+    the shard's post-run state for the parent to merge, (when the lane
+    carried a replica spec) the update log diffed against the shipped
+    seed, and (when the run shipped telemetry) the spans and postcards
+    recorded while the lane ran, for the parent to adopt.
     """
     (program_key, network_key, spec_bytes,
-     ports, variables, replica_spec, state_blob, batch) = payload
+     ports, variables, replica_spec, state_blob, batch, telemetry) = payload
     network = _worker_network(program_key, network_key, spec_bytes)
     seed = pickle.loads(state_blob)
     network.install_shard_state(seed)
     lane = _Lane(network, Shard(tuple(ports), frozenset(variables)), batch)
-    records, links = lane.run()
+    if telemetry is None:
+        records, links = lane.run()
+        lane_obs = None
+    else:
+        # Workers serve one lane at a time, so the capture windows slice
+        # out exactly this job's spans and postcards for the reply.
+        with TRACER.capture() as spans, postcards.capture() as cards, \
+                postcards.sampling(telemetry.get("postcard_every", 0)):
+            with TRACER.span(
+                "engine.lane", parent=telemetry.get("trace"),
+                batch=len(batch), worker=os.getpid(),
+            ):
+                records, links = lane.run()
+        lane_obs = {"spans": spans, "postcards": cards}
     state = network.extract_shard_state(variables)
     log = None
     if replica_spec is not None:
@@ -1195,4 +1297,4 @@ def _process_lane(payload: tuple):
             replication.extract_state(network, lane_vars),
             replica_spec["epoch"],
         )
-    return records, links, state, log
+    return records, links, state, log, lane_obs

@@ -350,10 +350,28 @@ class Network:
         return deque([(tagged, switch, 0)])
 
     def _run(
-        self, queue: deque, interleave: bool = False, scheduler=None
+        self,
+        queue: deque,
+        interleave: bool = False,
+        scheduler=None,
+        links=None,
+        recorder=None,
     ) -> list[DeliveryRecord]:
+        """Drain the arrival queue; the generic (uncompiled) packet walk.
+
+        ``links`` redirects the per-link packet counters into a caller-
+        owned dict (thread lanes keep counts lane-local and merge once,
+        instead of racing on ``self.link_packets``); ``recorder`` is a
+        :class:`repro.obs.postcards.PostcardRecorder` for sampled
+        packets — when present, switch programs run through
+        ``process_traced`` (identical opcode effects, plus events).
+        """
         records = []
         step = self._step
+        if links is not None or recorder is not None:
+            step = lambda packet, switch, hops: self._step(  # noqa: E731
+                packet, switch, hops, links=links, recorder=recorder
+            )
         while queue:
             if scheduler is not None:
                 # The deque is handed to the scheduler directly (it only
@@ -384,7 +402,9 @@ class Network:
                 queue.extend(reversed(in_flight))
         return records
 
-    def _step(self, packet: Packet, switch: str, hops: int) -> list:
+    def _step(
+        self, packet: Packet, switch: str, hops: int, links=None, recorder=None
+    ) -> list:
         """Process-or-forward one packet at one switch.
 
         Returns a list of :class:`DeliveryRecord` (done) and
@@ -395,13 +415,20 @@ class Network:
         program = self.switches[switch]
         if tag != DONE_TAG and program.can_process(tag):
             handle = self._handle_outcome
+            outcomes = (
+                program.process(packet)
+                if recorder is None
+                else program.process_traced(packet, recorder)
+            )
             return [
-                handle(outcome, switch, hops)
-                for outcome in program.process(packet)
+                handle(outcome, switch, hops, links=links, recorder=recorder)
+                for outcome in outcomes
             ]
-        return [self._forward(packet, switch, hops)]
+        return [self._forward(packet, switch, hops, links, recorder)]
 
-    def _handle_outcome(self, outcome, switch: str, hops: int):
+    def _handle_outcome(
+        self, outcome, switch: str, hops: int, links=None, recorder=None
+    ):
         packet = outcome.packet
         u = packet.get(SNAP_INPORT)
         kind = outcome.kind
@@ -412,7 +439,7 @@ class Network:
             if egress is None or egress not in self.topology.ports:
                 return DeliveryRecord(packet, None, hops)
             packet = packet.modify_many({SNAP_OUTPORT: egress, SNAP_NODE: DONE_TAG})
-            return self._forward(packet, switch, hops)
+            return self._forward(packet, switch, hops, links, recorder)
         # pause: ensure the tagged egress candidate can reach the variable.
         var = outcome.var
         v = packet.get(SNAP_OUTPORT)
@@ -435,9 +462,11 @@ class Network:
                     f"{var!r} at {switch}"
                 )
             packet = packet.modify(SNAP_OUTPORT, candidate)
-        return self._forward(packet, switch, hops)
+        return self._forward(packet, switch, hops, links, recorder)
 
-    def _forward(self, packet: Packet, switch: str, hops: int):
+    def _forward(
+        self, packet: Packet, switch: str, hops: int, links=None, recorder=None
+    ):
         fields = packet._fields
         u = fields.get(SNAP_INPORT)
         v = fields.get(SNAP_OUTPORT)
@@ -460,7 +489,10 @@ class Network:
                 f"no route at {switch} for flow ({u}, {v}) "
                 f"(tag={packet.get(SNAP_NODE)})"
             )
-        self.link_packets[(switch, nxt)] = self.link_packets.get((switch, nxt), 0) + 1
+        counters = self.link_packets if links is None else links
+        counters[(switch, nxt)] = counters.get((switch, nxt), 0) + 1
+        if recorder is not None:
+            recorder.hop(switch, nxt)
         return (packet, nxt, hops + 1)
 
     # -- reporting -------------------------------------------------------------

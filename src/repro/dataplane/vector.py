@@ -94,10 +94,26 @@ from repro.lang import ast
 from repro.lang.errors import DataPlaneError
 from repro.lang.packet import Packet
 from repro.lang.values import matches
+from repro.obs import postcards
+from repro.obs.metrics import counter
+from repro.obs.tracing import TRACER
 from repro.util.ipaddr import IPPrefix
 from repro.xfdd.tests import FieldFieldTest, FieldValueTest, StateVarTest
 
 from repro.dataplane.network import MAX_HOPS, DeliveryRecord
+
+#: Why vector lanes demoted work to the scalar interpreter.  Labeled by
+#: cause so a parallelism flatline is explainable from a metrics scrape
+#: alone (the per-run ``collapse_reasons`` only cover shard planning).
+_VECTOR_FALLBACK = counter(
+    "snap_vector_fallback_total",
+    "Vector-lane demotions to the scalar interpreter, by cause",
+)
+
+
+def _demote(cause: str, rows: int) -> None:
+    _VECTOR_FALLBACK.labels(cause=cause).inc()
+    TRACER.add_event("vector_fallback", cause=cause, rows=rows)
 
 # -- kernel cache -------------------------------------------------------------
 #
@@ -749,6 +765,8 @@ class VectorLane:
 
     def run(self):
         if np is None or not self.batch:
+            if np is None and self.batch:
+                _demote("no-numpy", len(self.batch))
             self._scalar.batch = self.batch
             return self._scalar.run()
         net = self.network
@@ -761,6 +779,7 @@ class VectorLane:
                 vector_groups.append((kernel, rows))
             else:
                 fallback_keys.add(group_key)
+                _demote("non-vectorizable", len(rows))
         if not vector_groups:
             self._scalar.batch = self.batch
             return self._scalar.run()
@@ -784,6 +803,7 @@ class VectorLane:
                 # effect analysis proves every overlapping variable is
                 # increment-only and never read — then the deltas
                 # commute with anything the scalar rows can do.
+                _demote("state-overlap", len(self.batch))
                 self._scalar.batch = self.batch
                 return self._scalar.run()
 
@@ -805,6 +825,7 @@ class VectorLane:
             # An unhashable field value cannot be interned: the columnar
             # form does not apply — rerun everything on the scalar lane
             # (no state was touched yet; deltas are deferred).
+            _demote("unhashable-field", len(self.batch))
             self._scalar = _Lane(self.network, self.shard, self.batch)
             return self._scalar.run()
         _apply_delta_events(delta_events)
@@ -827,6 +848,19 @@ class VectorLane:
             self._scalar.batch = []
         fallback_results, links = self._scalar.run()
         results.update(fallback_results)
+        sampler = postcards.active_sampler()
+        if sampler is not None:
+            # No per-packet interpreter to hang events on: sampled rows
+            # that ran columnar get a delivery-level summary postcard.
+            # (Fallback rows already produced full postcards inside the
+            # scalar lane's own sampling hook.)
+            kind = "vector-jit" if self.jit else "vector"
+            for _, rows in vector_groups:
+                for gidx, _packet, port in rows:
+                    if sampler.should(gidx):
+                        postcards.record_summary(
+                            gidx, port, results.get(gidx, ()), kind
+                        )
         return results, links
 
     # -- record materialization -------------------------------------------

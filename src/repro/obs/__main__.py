@@ -1,0 +1,191 @@
+"""Telemetry snapshot CLI: ``python -m repro.obs <command>``.
+
+``dump [path]``
+    Render a snapshot file written by :func:`repro.obs.write_snapshot`
+    (or, with no path and no ``SNAP_TELEMETRY_FILE``, the live state of
+    this process — mostly useful for smoke tests).  ``--json`` prints
+    the raw JSON instead of the summary; ``--prometheus`` prints the
+    exposition text.
+
+``watch [path] [--interval N]``
+    Re-render the snapshot file every N seconds (default 2) until
+    interrupted.  Pair with a long-running replay configured with
+    ``SNAP_TELEMETRY_FILE`` to watch a run in flight.
+
+``check-prom``
+    Self-test: populate a scratch registry with every metric kind,
+    render it, and strictly validate the output against the Prometheus
+    text exposition grammar.  Exit code 1 on any violation — this is
+    the CI lint hook for the exporter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro import obs
+
+
+def _load(path: str | None) -> dict:
+    if path is None:
+        path = os.environ.get("SNAP_TELEMETRY_FILE")
+    if path is None:
+        return obs.snapshot_dict()
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, dict):  # histogram
+        return f"count={value.get('count')} sum={value.get('sum'):.6g}"
+    return str(value)
+
+
+def _render(snapshot: dict) -> str:
+    lines: list = []
+    meta = snapshot.get("meta", {})
+    lines.append(
+        f"telemetry snapshot (pid {meta.get('pid', '?')}, "
+        f"python {meta.get('python', '?')})"
+    )
+    flags = meta.get("telemetry", {})
+    lines.append(
+        f"  metrics={'on' if flags.get('metrics') else 'off'} "
+        f"tracing={'on' if flags.get('tracing') else 'off'} "
+        f"postcard_every={flags.get('postcard_every', 0)}"
+    )
+
+    metrics = snapshot.get("metrics", {})
+    lines.append(f"\n== metrics ({len(metrics)} families) ==")
+    for name in sorted(metrics):
+        family = metrics[name]
+        lines.append(f"  {family['kind']:<9} {name}")
+        for series in family.get("series", []):
+            labels = series.get("labels") or {}
+            label_text = (
+                "{" + ", ".join(
+                    f"{k}={v}" for k, v in sorted(labels.items())
+                ) + "}"
+                if labels else ""
+            )
+            lines.append(
+                f"    {label_text or '(no labels)'} "
+                f"{_format_value(series.get('value'))}"
+            )
+
+    spans = snapshot.get("spans", [])
+    by_name: dict = {}
+    for span in spans:
+        entry = by_name.setdefault(span.get("name"), [0, 0.0])
+        entry[0] += 1
+        entry[1] += span.get("duration") or 0.0
+    lines.append(f"\n== spans ({len(spans)} recorded) ==")
+    for name in sorted(by_name):
+        count, total = by_name[name]
+        lines.append(f"  {name:<28} x{count:<5} total {total * 1000:.2f}ms")
+
+    cards = snapshot.get("postcards", [])
+    lines.append(f"\n== postcards ({len(cards)} sampled packets) ==")
+    for card in cards[:10]:
+        hops = sum(
+            1 for event in card.get("events", []) if event.get("ev") == "hop"
+        )
+        outcomes = ",".join(
+            f"{d.get('egress')}@{d.get('hops')}h"
+            for d in card.get("deliveries", [])
+        ) or "none"
+        lines.append(
+            f"  pkt#{card.get('index'):<6} port {card.get('port'):<4} "
+            f"{len(card.get('events', []))} events ({hops} hops) "
+            f"-> {outcomes}"
+        )
+    if len(cards) > 10:
+        lines.append(f"  ... and {len(cards) - 10} more")
+    return "\n".join(lines)
+
+
+def _cmd_dump(args) -> int:
+    snapshot = _load(args.path)
+    if args.json:
+        print(json.dumps(snapshot, indent=2, default=repr))
+    elif args.prometheus:
+        print(snapshot.get("prometheus", ""), end="")
+    else:
+        print(_render(snapshot))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    try:
+        while True:
+            try:
+                snapshot = _load(args.path)
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"(waiting for snapshot: {exc})")
+            else:
+                print("\x1b[2J\x1b[H", end="")
+                print(_render(snapshot))
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_check_prom(args) -> int:
+    registry = obs.MetricsRegistry()
+    registry.counter("snap_selftest_total", "self-test counter").labels(
+        kind="a b", path='quo"ted\\slash'
+    ).inc(3)
+    registry.gauge("snap_selftest_gauge", "self-test gauge").set(-2.5)
+    hist = registry.histogram("snap_selftest_seconds", "self-test histogram")
+    for value in (0.0001, 0.003, 0.2, 5.0, 1000.0):
+        hist.labels(stage="x").observe(value)
+    text = registry.render_prometheus()
+    problems = obs.validate_prometheus_text(text)
+    # The live registry must pass too — whatever the process recorded.
+    problems += obs.validate_prometheus_text(obs.REGISTRY.render_prometheus())
+    if problems:
+        for problem in problems:
+            print(f"PROM-FORMAT: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"prometheus exporter ok "
+        f"({len(text.splitlines())} self-test lines valid)"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="SNAP telemetry snapshot tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dump = sub.add_parser("dump", help="render a telemetry snapshot")
+    dump.add_argument("path", nargs="?", default=None)
+    dump.add_argument("--json", action="store_true", help="raw JSON")
+    dump.add_argument(
+        "--prometheus", action="store_true", help="Prometheus text format"
+    )
+    dump.set_defaults(fn=_cmd_dump)
+
+    watch = sub.add_parser("watch", help="follow a snapshot file live")
+    watch.add_argument("path", nargs="?", default=None)
+    watch.add_argument("--interval", type=float, default=2.0)
+    watch.set_defaults(fn=_cmd_watch)
+
+    check = sub.add_parser(
+        "check-prom", help="validate the Prometheus exporter output"
+    )
+    check.set_defaults(fn=_cmd_check_prom)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""Structured trace spans with parent ids and a ring-buffer sink.
+
+A *span* is a named, timed unit of work (a compile phase, a controller
+event, one engine lane, one cluster round trip).  Spans nest: the
+tracer keeps a per-thread stack of open spans, so a span opened inside
+another automatically records the outer span's id as its ``parent_id``.
+Work that hops threads or processes (lane pools, cluster workers)
+passes an explicit parent — either a :class:`Span` or the dict from
+:func:`current_trace_context` carried over the wire — and the receiving
+side's spans stitch back into the same trace.
+
+Finished spans land in a bounded ring buffer as plain dicts (JSONL-
+ready); nothing is written to disk unless a snapshot is requested (see
+:func:`repro.obs.write_snapshot`).  Span ids embed the pid so ids from
+worker processes never collide with the parent's.
+
+When tracing is disabled, :meth:`Tracer.span` yields a shared no-op
+span: no allocation beyond the generator frame, no clock reads, no
+locking.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+
+class Span:
+    """One open unit of work; becomes a dict in the ring when it ends."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "attrs",
+                 "events", "start", "end")
+
+    def __init__(self, trace_id, span_id, parent_id, name, attrs):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.events: list = []
+        self.start = time.perf_counter()
+        self.end = None
+
+    def set_attr(self, key, value) -> None:
+        self.attrs[key] = value
+
+    def add_event(self, name, **attrs) -> None:
+        self.events.append({"name": name, **attrs})
+
+    def context(self) -> dict:
+        """Wire-portable reference to this span (for cross-process work)."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    def to_dict(self) -> dict:
+        record = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": (self.end - self.start) if self.end else None,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if self.events:
+            record["events"] = self.events
+        return record
+
+    def __repr__(self):
+        return f"Span({self.name}, id={self.span_id})"
+
+
+class _NoopSpan:
+    """Shared do-nothing span yielded while tracing is disabled."""
+
+    __slots__ = ()
+    trace_id = None
+    span_id = None
+    parent_id = None
+    name = None
+
+    def set_attr(self, key, value) -> None:
+        pass
+
+    def add_event(self, name, **attrs) -> None:
+        pass
+
+    def context(self):
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Span factory + bounded ring of finished spans."""
+
+    def __init__(self, enabled: bool = True, ring_size: int = 4096):
+        self.enabled = enabled
+        self.ring_size = ring_size
+        self._ring: list = []
+        self._ring_lock = threading.Lock()
+        self._local = threading.local()
+        self._seq = itertools.count(1)
+
+    # -- id plumbing -------------------------------------------------------
+
+    def _new_id(self) -> str:
+        return f"{os.getpid():x}-{next(self._seq):x}"
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span(self):
+        """The innermost open span on this thread, or ``None``."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # -- span lifecycle ----------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, parent=None, **attrs):
+        """Open a span; ``parent`` overrides the thread-local parent.
+
+        ``parent`` may be a :class:`Span`, a context dict from
+        :meth:`Span.context` / :func:`current_trace_context`, or
+        ``None`` (inherit from this thread's innermost open span).
+        """
+        if not self.enabled:
+            yield NOOP_SPAN
+            return
+        stack = self._stack()
+        if parent is None:
+            parent = stack[-1] if stack else None
+        if parent is None:
+            trace_id, parent_id = self._new_id(), None
+        elif isinstance(parent, dict):
+            trace_id = parent.get("trace_id") or self._new_id()
+            parent_id = parent.get("span_id")
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        span = Span(trace_id, self._new_id(), parent_id, name, attrs)
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+            span.end = time.perf_counter()
+            self._record(span.to_dict())
+
+    def add_event(self, name, **attrs) -> None:
+        """Annotate this thread's innermost open span (no-op if none)."""
+        span = self.current_span()
+        if span is not None:
+            span.add_event(name, **attrs)
+
+    # -- sink --------------------------------------------------------------
+
+    def _record(self, record: dict) -> None:
+        with self._ring_lock:
+            self._ring.append(record)
+            overflow = len(self._ring) - self.ring_size
+            if overflow > 0:
+                del self._ring[:overflow]
+
+    def adopt(self, records) -> None:
+        """Ingest finished-span dicts produced elsewhere (worker replies)."""
+        if not self.enabled or not records:
+            return
+        for record in records:
+            if isinstance(record, dict) and "span_id" in record:
+                self._record(record)
+
+    def spans(self, name: str = None) -> list:
+        """Finished spans, oldest first (optionally filtered by name)."""
+        with self._ring_lock:
+            out = list(self._ring)
+        if name is not None:
+            out = [s for s in out if s["name"] == name]
+        return out
+
+    def reset(self) -> None:
+        with self._ring_lock:
+            self._ring.clear()
+
+    # -- worker-side capture ----------------------------------------------
+
+    @contextmanager
+    def capture(self):
+        """Collect spans finished inside the block (plus the ring copy).
+
+        Used by worker daemons / pool workers to slice out just the
+        spans belonging to one job so they can be shipped back in the
+        reply.  Safe because each worker handles one job at a time per
+        thread; concurrent captures on *different* threads see each
+        other's spans, so keep captures to single-threaded contexts.
+        """
+        captured: list = []
+        with self._ring_lock:
+            mark = len(self._ring)
+        yield captured
+        with self._ring_lock:
+            captured.extend(self._ring[mark:])
+
+
+#: Process-wide tracer; enabled/disabled by :func:`repro.obs.configure`.
+TRACER = Tracer()
+
+
+def current_trace_context() -> dict:
+    """Wire-portable context of the current span, or ``None``."""
+    span = TRACER.current_span()
+    return span.context() if span is not None else None

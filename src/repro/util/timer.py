@@ -1,9 +1,26 @@
-"""Phase timing used by the compiler pipeline and the benchmark harness."""
+"""Phase timing used by the compiler pipeline and the benchmark harness.
+
+Since the telemetry layer landed, :class:`PhaseTimer` is a thin shim
+over it: every ``phase()`` block also opens a ``compile.phase`` trace
+span and feeds the ``snap_compile_phase_seconds`` histogram, so the
+Table-6 rows the benchmarks print and the registry a scraper sees come
+from the same clock reads.  The accumulation into ``durations`` is now
+lock-guarded — the old bare read-modify-write lost increments when two
+threads timed phases on a shared timer.
+"""
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
+
+from repro.obs.metrics import histogram
+from repro.obs.tracing import TRACER
+
+_PHASE_SECONDS = histogram(
+    "snap_compile_phase_seconds", "Wall-clock time per compile phase"
+)
 
 
 class PhaseTimer:
@@ -16,30 +33,43 @@ class PhaseTimer:
 
     def __init__(self):
         self.durations: dict[str, float] = {}
+        self._lock = threading.Lock()
 
     @contextmanager
     def phase(self, name: str):
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.durations[name] = self.durations.get(name, 0.0) + elapsed
+        with TRACER.span("compile.phase", phase=name) as span:
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - start
+                span.set_attr("seconds", elapsed)
+                with self._lock:
+                    self.durations[name] = (
+                        self.durations.get(name, 0.0) + elapsed
+                    )
+                _PHASE_SECONDS.labels(phase=name).observe(elapsed)
 
     def total(self, names=None) -> float:
         """Sum of durations, optionally restricted to ``names``."""
-        if names is None:
-            return sum(self.durations.values())
-        return sum(self.durations.get(name, 0.0) for name in names)
+        with self._lock:
+            if names is None:
+                return sum(self.durations.values())
+            return sum(self.durations.get(name, 0.0) for name in names)
 
     def merged(self, other: "PhaseTimer") -> "PhaseTimer":
         """A new timer with durations from both (for multi-run totals)."""
         result = PhaseTimer()
-        result.durations = dict(self.durations)
-        for name, value in other.durations.items():
-            result.durations[name] = result.durations.get(name, 0.0) + value
+        with self._lock:
+            result.durations = dict(self.durations)
+        with other._lock:
+            for name, value in other.durations.items():
+                result.durations[name] = result.durations.get(name, 0.0) + value
         return result
 
     def __repr__(self):
-        rows = ", ".join(f"{k}={v:.3f}s" for k, v in sorted(self.durations.items()))
+        with self._lock:
+            rows = ", ".join(
+                f"{k}={v:.3f}s" for k, v in sorted(self.durations.items())
+            )
         return f"PhaseTimer({rows})"

@@ -13,7 +13,13 @@ from repro.dataplane.network import Network
 from repro.lang import ast
 from repro.lang.semantics import eval_policy
 from repro.lang.state import Store
+from repro.obs.metrics import counter
+from repro.obs.tracing import TRACER
 from repro.workloads.traces import Trace
+
+_REPLAY_PACKETS = counter(
+    "snap_replay_packets_total", "Packets injected by trace replays"
+)
 
 
 class ReplayStats:
@@ -95,8 +101,14 @@ def replay(trace: Trace, network: Network, engine=None) -> ReplayStats:
         engine = getattr(network, "default_engine", "sequential")
     runner = get_engine(engine)
     stats = ReplayStats()
-    for records in runner.run(network, trace):
-        stats.record(records)
+    with TRACER.span(
+        "replay", engine=getattr(runner, "name", str(engine))
+    ) as span:
+        for records in runner.run(network, trace):
+            stats.record(records)
+        span.set_attr("packets", stats.sent)
+        span.set_attr("delivered", stats.delivered)
+    _REPLAY_PACKETS.inc(stats.sent)
     return stats
 
 
